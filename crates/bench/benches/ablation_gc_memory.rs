@@ -1,0 +1,99 @@
+//! Ablation: garbage collection bounds validator memory (§3.3).
+//!
+//! The paper reports that a GC bug exhausted 120 GB of RAM in minutes,
+//! versus a ~700 MB footprint with working GC — "validators in Narwhal can
+//! operate with a fixed size memory... O(n) in-memory usage". This ablation
+//! grows a DAG for thousands of rounds with and without a GC window and
+//! reports retained certificates and estimated bytes.
+
+use narwhal::Dag;
+use nt_codec::Encode;
+use nt_crypto::{Digest, Hashable, KeyPair, Scheme};
+use nt_types::{Certificate, Committee, Header, ValidatorId, Vote};
+
+/// Builds one fully-connected round of certificates.
+fn build_round(
+    committee: &Committee,
+    kps: &[KeyPair],
+    round: u64,
+    parents: &[Digest],
+) -> Vec<Certificate> {
+    kps.iter()
+        .enumerate()
+        .map(|(i, kp)| {
+            let header = Header::new(
+                kp,
+                ValidatorId(i as u32),
+                round,
+                vec![(Digest::of(&round.to_le_bytes()), nt_types::WorkerId(0))],
+                parents.to_vec(),
+                None,
+            );
+            let votes: Vec<Vote> = kps
+                .iter()
+                .enumerate()
+                .map(|(j, vkp)| {
+                    Vote::new(
+                        vkp,
+                        ValidatorId(j as u32),
+                        header.digest(),
+                        round,
+                        header.author,
+                    )
+                })
+                .collect();
+            Certificate::from_votes(committee, header, &votes).expect("quorum")
+        })
+        .collect()
+}
+
+fn run(gc_depth: Option<u64>, rounds: u64, n: usize) -> (usize, usize) {
+    let (committee, kps) = Committee::deterministic(n, 1, Scheme::Insecure);
+    let mut dag = Dag::new();
+    dag.insert_genesis(Certificate::genesis_set(&committee));
+    let mut max_len = dag.len();
+    let mut max_bytes = 0usize;
+    let mut sample_cert_bytes = 0usize;
+    for r in 1..=rounds {
+        let parents: Vec<Digest> = dag
+            .round_certs(r - 1)
+            .map(Certificate::header_digest)
+            .collect();
+        for cert in build_round(&committee, &kps, r, &parents) {
+            if sample_cert_bytes == 0 {
+                sample_cert_bytes = cert.encoded_len();
+            }
+            dag.insert(cert);
+        }
+        if let Some(depth) = gc_depth {
+            if r > depth {
+                dag.gc(r - depth);
+            }
+        }
+        max_len = max_len.max(dag.len());
+        max_bytes = max_len * sample_cert_bytes;
+    }
+    (max_len, max_bytes)
+}
+
+fn main() {
+    println!("Ablation: DAG memory with and without garbage collection");
+    println!("(10 validators, 2000 rounds, fully connected DAG)");
+    println!();
+    println!(
+        "{:<24} {:>16} {:>16}",
+        "configuration", "max certs held", "approx bytes"
+    );
+    for (label, depth) in [
+        ("no GC (DAG-Rider-like)", None),
+        ("gc_depth = 1000", Some(1000)),
+        ("gc_depth = 100", Some(100)),
+        ("gc_depth = 50 (default)", Some(50)),
+    ] {
+        let (len, bytes) = run(depth, 2_000, 10);
+        println!("{label:<24} {len:>16} {:>15.1}M", bytes as f64 / 1e6);
+    }
+    println!();
+    println!("Expectation: without GC, memory grows linearly with rounds");
+    println!("(the paper's 120 GB incident); with GC it is O(n x gc_depth).");
+}

@@ -1,0 +1,67 @@
+//! Figure 1: the headline WAN scatter.
+//!
+//! One point per system: Baseline-HS-20 (~1.8k tx/s, ~1 s), Batched-HS-20
+//! (~50-70k, ~2 s), Narwhal-HS-20 (~130k, <2 s), Tusk-20 (~160k, ~3 s), and
+//! the 4-validator/10-worker scale-out points Narwhal-HS-4W10 and Tusk-4W10
+//! (>500k tx/s under 3.5 s).
+
+use nt_bench::{print_series, run_system, BenchParams, System};
+use nt_network::SEC;
+
+fn main() {
+    println!("Figure 1: summary of WAN performance (512 B transactions)");
+    let mut rows = Vec::new();
+    let single = |_system: System, rate: f64| BenchParams {
+        nodes: 20,
+        workers: 1,
+        rate,
+        duration: 20 * SEC,
+        seed: 1,
+        ..Default::default()
+    };
+    rows.push((
+        "Baseline-HS-20".to_string(),
+        run_system(
+            System::BaselineHs,
+            &single(System::BaselineHs, 1_800.0),
+            vec![],
+        ),
+    ));
+    rows.push((
+        "Batched-HS-20".to_string(),
+        run_system(
+            System::BatchedHs,
+            &single(System::BatchedHs, 70_000.0),
+            vec![],
+        ),
+    ));
+    rows.push((
+        "Narwhal-HS-20".to_string(),
+        run_system(
+            System::NarwhalHs,
+            &single(System::NarwhalHs, 140_000.0),
+            vec![],
+        ),
+    ));
+    rows.push((
+        "Tusk-20".to_string(),
+        run_system(System::Tusk, &single(System::Tusk, 140_000.0), vec![]),
+    ));
+    let scale_out = |rate: f64| BenchParams {
+        nodes: 4,
+        workers: 10,
+        rate,
+        duration: 12 * SEC,
+        seed: 1,
+        ..Default::default()
+    };
+    rows.push((
+        "Narwhal-HS-4W10".to_string(),
+        run_system(System::NarwhalHs, &scale_out(520_000.0), vec![]),
+    ));
+    rows.push((
+        "Tusk-4W10".to_string(),
+        run_system(System::Tusk, &scale_out(520_000.0), vec![]),
+    ));
+    print_series("Figure 1 summary points", "system", &rows);
+}

@@ -1,0 +1,63 @@
+//! Figure 6: comparative throughput-latency in the common case.
+//!
+//! "WAN measurements with 10, 20, and 50 validators, using 1 worker
+//! collocated with the primary. No validator faults, 500KB max. block size
+//! and 512B transaction size."
+//!
+//! Paper reference points: Baseline-HS never exceeds ~1,800 tx/s (~1 s
+//! latency at low load); Batched-HS peaks at 50-70k tx/s (~2 s); Narwhal-HS
+//! reaches ~140k tx/s below 2 s; Tusk ~170k tx/s at ~3 s with latency flat
+//! across committee sizes.
+
+use nt_bench::{print_series, run_system, BenchParams, RunStats, System};
+use nt_network::SEC;
+
+fn sweep(system: System, nodes: usize, rates: &[f64]) -> Vec<(String, RunStats)> {
+    rates
+        .iter()
+        .map(|rate| {
+            let params = BenchParams {
+                nodes,
+                workers: 1,
+                rate: *rate,
+                duration: if nodes >= 50 { 12 * SEC } else { 20 * SEC },
+                seed: 1,
+                ..Default::default()
+            };
+            let stats = run_system(system, &params, vec![]);
+            (format!("{} n={nodes} @{:.0}", system.name(), rate), stats)
+        })
+        .collect()
+}
+
+fn main() {
+    println!("Figure 6: common-case throughput-latency (no faults)");
+    for nodes in [10usize, 20, 50] {
+        let mut rows = Vec::new();
+        rows.extend(sweep(
+            System::BaselineHs,
+            nodes,
+            &[1_000.0, 2_000.0, 3_000.0],
+        ));
+        rows.extend(sweep(
+            System::BatchedHs,
+            nodes,
+            &[30_000.0, 70_000.0, 110_000.0],
+        ));
+        rows.extend(sweep(
+            System::NarwhalHs,
+            nodes,
+            &[60_000.0, 120_000.0, 160_000.0],
+        ));
+        rows.extend(sweep(
+            System::Tusk,
+            nodes,
+            &[60_000.0, 120_000.0, 170_000.0],
+        ));
+        print_series(
+            &format!("Figure 6, {nodes} validators"),
+            "system @ input rate",
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Figure 7: scale-out with multiple workers per validator.
+//!
+//! "Tusk and HS with Narwhal latency-throughput graph for 4 validators and
+//! different number of workers [1, 4, 7, 10 on dedicated machines]. The
+//! transaction and batch sizes are respectively set to 512B and 1,000
+//! transactions." The bottom plot shows maximum achievable throughput under
+//! a latency SLO — close to `(#workers) x (throughput for one worker)`.
+
+use nt_bench::{print_series, run_system, BenchParams, RunStats, System};
+use nt_network::SEC;
+
+fn point(system: System, workers: u32, rate: f64) -> RunStats {
+    let params = BenchParams {
+        nodes: 4,
+        workers,
+        rate,
+        duration: 12 * SEC,
+        seed: 1,
+        ..Default::default()
+    };
+    run_system(system, &params, vec![])
+}
+
+fn main() {
+    println!("Figure 7: worker scale-out (4 validators, dedicated hosts)");
+    let mut slo_rows: Vec<(System, u32, f64, f64)> = Vec::new();
+    for system in [System::Tusk, System::NarwhalHs] {
+        let mut rows = Vec::new();
+        for workers in [1u32, 4, 7, 10] {
+            // Sweep multiples of a per-worker base rate to find the knee.
+            let mut best_3s = 0.0f64;
+            let mut best_5s = 0.0f64;
+            for base in [40_000.0f64, 80_000.0, 120_000.0, 150_000.0] {
+                let rate = base * workers as f64;
+                let stats = point(system, workers, rate);
+                rows.push((
+                    format!("{} {workers}w @{:.0}k", system.name(), rate / 1000.0),
+                    stats.clone(),
+                ));
+                if stats.avg_latency_s <= 3.0 && stats.throughput_tps > best_3s {
+                    best_3s = stats.throughput_tps;
+                }
+                if stats.avg_latency_s <= 5.0 && stats.throughput_tps > best_5s {
+                    best_5s = stats.throughput_tps;
+                }
+            }
+            slo_rows.push((system, workers, best_3s, best_5s));
+        }
+        print_series(
+            &format!("Figure 7 (top): {}", system.name()),
+            "workers @ input rate",
+            &rows,
+        );
+    }
+    println!();
+    println!("== Figure 7 (bottom): max throughput under latency SLO");
+    println!(
+        "{:<14} {:>8} {:>16} {:>16}",
+        "system", "workers", "max tput @3s SLO", "max tput @5s SLO"
+    );
+    for (system, workers, best_3s, best_5s) in &slo_rows {
+        println!(
+            "{:<14} {:>8} {:>16.0} {:>16.0}",
+            system.name(),
+            workers,
+            best_3s,
+            best_5s
+        );
+    }
+    println!();
+    println!("Linear-scaling check: tput(w workers) / (w x tput(1 worker)):");
+    for system in [System::Tusk, System::NarwhalHs] {
+        let base = slo_rows
+            .iter()
+            .find(|(s, w, _, _)| *s == system && *w == 1)
+            .map(|(_, _, b3, _)| *b3)
+            .unwrap_or(1.0);
+        for (s, w, b3, _) in &slo_rows {
+            if *s == system && *w > 1 {
+                println!("  {} {}w: {:.2}", system.name(), w, b3 / (base * *w as f64));
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Criterion micro-benchmarks for the primitives feeding the CPU cost
+//! model (§6): hashing, signatures, the wire codec, and DAG operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use narwhal::Dag;
+use nt_codec::{decode_from_slice, encode_to_vec};
+use nt_crypto::{sha256, sha512, Digest, Hashable, KeyPair, Scheme};
+use nt_types::{Certificate, Committee, Header, ValidatorId, Vote, WorkerId};
+use std::hint::black_box;
+
+fn bench_hashing(c: &mut Criterion) {
+    let small = vec![0xabu8; 512];
+    let batch = vec![0xabu8; 500_000];
+    c.bench_function("sha256_512B_tx", |b| b.iter(|| sha256(black_box(&small))));
+    c.bench_function("sha256_500KB_batch", |b| {
+        b.iter(|| sha256(black_box(&batch)))
+    });
+    c.bench_function("sha512_512B", |b| b.iter(|| sha512(black_box(&small))));
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let kp = KeyPair::for_index(Scheme::Ed25519, 0);
+    let msg = Digest::of(b"block digest");
+    let sig = kp.sign_digest(&msg);
+    c.bench_function("ed25519_sign", |b| {
+        b.iter(|| kp.sign_digest(black_box(&msg)))
+    });
+    c.bench_function("ed25519_verify", |b| {
+        b.iter(|| {
+            kp.public()
+                .verify_digest(Scheme::Ed25519, black_box(&msg), &sig)
+        })
+    });
+}
+
+fn sample_header(committee: &Committee, kps: &[KeyPair]) -> Header {
+    let parents: Vec<Digest> = Certificate::genesis_set(committee)
+        .iter()
+        .map(Certificate::header_digest)
+        .collect();
+    Header::new(
+        &kps[0],
+        ValidatorId(0),
+        1,
+        (0..24u64)
+            .map(|i| (Digest::of(&i.to_le_bytes()), WorkerId(0)))
+            .collect(),
+        parents,
+        None,
+    )
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let (committee, kps) = Committee::deterministic(10, 1, Scheme::Insecure);
+    let header = sample_header(&committee, &kps);
+    let bytes = encode_to_vec(&header);
+    c.bench_function("encode_header", |b| {
+        b.iter(|| encode_to_vec(black_box(&header)))
+    });
+    c.bench_function("decode_header", |b| {
+        b.iter(|| decode_from_slice::<Header>(black_box(&bytes)).expect("valid"))
+    });
+    c.bench_function("header_digest", |b| b.iter(|| black_box(&header).digest()));
+}
+
+fn bench_dag(c: &mut Criterion) {
+    let (committee, kps) = Committee::deterministic(10, 1, Scheme::Insecure);
+    // Build a 20-round fully connected DAG.
+    let mut dag = Dag::new();
+    dag.insert_genesis(Certificate::genesis_set(&committee));
+    for r in 1..=20u64 {
+        let parents: Vec<Digest> = dag
+            .round_certs(r - 1)
+            .map(Certificate::header_digest)
+            .collect();
+        for (i, kp) in kps.iter().enumerate() {
+            let header = Header::new(kp, ValidatorId(i as u32), r, vec![], parents.clone(), None);
+            let votes: Vec<Vote> = kps
+                .iter()
+                .enumerate()
+                .map(|(j, vkp)| {
+                    Vote::new(
+                        vkp,
+                        ValidatorId(j as u32),
+                        header.digest(),
+                        r,
+                        header.author,
+                    )
+                })
+                .collect();
+            dag.insert(Certificate::from_votes(&committee, header, &votes).expect("quorum"));
+        }
+    }
+    let top = dag.get(20, ValidatorId(0)).expect("present").clone();
+    let bottom = dag.get(1, ValidatorId(5)).expect("present").clone();
+    let leader = dag.get(9, ValidatorId(3)).expect("present").clone();
+    c.bench_function("dag_path_exists_19_rounds", |b| {
+        b.iter(|| dag.path_exists(black_box(&top), black_box(&bottom)))
+    });
+    c.bench_function("dag_support_count", |b| {
+        b.iter(|| dag.support(black_box(&leader.header_digest()), 9))
+    });
+    c.bench_function("dag_collect_history_full", |b| {
+        let ordered = std::collections::HashSet::new();
+        b.iter(|| {
+            dag.collect_history(black_box(&top), &ordered)
+                .expect("complete")
+        })
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_hashing, bench_signatures, bench_codec, bench_dag
+}
+criterion_main!(micro);

@@ -1,0 +1,186 @@
+//! Metrics extraction from simulation results.
+//!
+//! The paper reports throughput as committed transactions per second and
+//! latency as "the time elapsed from when the client submits the
+//! transaction to when the transaction is committed by the leader that
+//! proposed it", measured via sampled transactions under load (§7). This
+//! module computes both over a steady-state window, discarding warm-up.
+
+use nt_network::{NodeId, Time, SEC};
+use nt_simnet::SimResult;
+use nt_types::CommitEvent;
+use std::collections::HashSet;
+
+/// Aggregated statistics from one run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Committed transactions per second in the steady-state window.
+    pub throughput_tps: f64,
+    /// Committed payload megabytes per second.
+    pub throughput_mbs: f64,
+    /// Mean end-to-end latency in seconds (sampled transactions).
+    pub avg_latency_s: f64,
+    /// Median end-to-end latency in seconds.
+    pub p50_latency_s: f64,
+    /// 99th-percentile end-to-end latency in seconds.
+    pub p99_latency_s: f64,
+    /// Mean rounds between a block's round and the anchor that committed it.
+    pub commit_rounds: f64,
+    /// Total committed transactions over the whole run.
+    pub total_txs: u64,
+    /// Number of latency samples observed.
+    pub samples: usize,
+}
+
+impl RunStats {
+    /// Computes stats from raw commits.
+    ///
+    /// Only events in `[warmup, duration]` count. Each validator emits
+    /// commit events for its own batches, so summing across nodes counts
+    /// every transaction exactly once. Latency samples are deduplicated by
+    /// sample id (each validator commits the same blocks; a sample is
+    /// measured at the batch creator — the proposing validator — only).
+    pub fn from_commits(
+        commits: &[(Time, NodeId, CommitEvent)],
+        duration: Time,
+        expected_creators: usize,
+    ) -> RunStats {
+        let warmup = duration / 5;
+        let window_s = (duration - warmup) as f64 / SEC as f64;
+        let mut total_txs_window: u64 = 0;
+        let mut total_bytes_window: u64 = 0;
+        let mut total_txs: u64 = 0;
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut seen_samples: HashSet<u64> = HashSet::new();
+        let mut round_gaps: Vec<f64> = Vec::new();
+
+        for (at, node, ev) in commits {
+            total_txs += ev.tx_count;
+            // A batch creator's commit event is emitted by the creator's own
+            // primary: count it once (node == author's primary by layout).
+            if *at < warmup || *at > duration {
+                continue;
+            }
+            if ev.author.0 as usize == *node {
+                // Primary nodes are laid out first; author's own events.
+                total_txs_window += ev.tx_count;
+                total_bytes_window += ev.tx_bytes;
+                for s in &ev.samples {
+                    if seen_samples.insert(s.id) {
+                        latencies.push((*at - s.submit_ns) as f64 / SEC as f64);
+                    }
+                }
+                if ev.anchor_round >= ev.round {
+                    round_gaps.push((ev.anchor_round - ev.round) as f64);
+                }
+            }
+        }
+        let _ = expected_creators;
+
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let pct = |p: f64| -> f64 {
+            if latencies.is_empty() {
+                return 0.0;
+            }
+            let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
+            latencies[idx]
+        };
+        RunStats {
+            throughput_tps: total_txs_window as f64 / window_s,
+            throughput_mbs: total_bytes_window as f64 / window_s / 1e6,
+            avg_latency_s: if latencies.is_empty() {
+                f64::NAN
+            } else {
+                latencies.iter().sum::<f64>() / latencies.len() as f64
+            },
+            p50_latency_s: pct(0.50),
+            p99_latency_s: pct(0.99),
+            commit_rounds: if round_gaps.is_empty() {
+                f64::NAN
+            } else {
+                round_gaps.iter().sum::<f64>() / round_gaps.len() as f64
+            },
+            total_txs,
+            samples: latencies.len(),
+        }
+    }
+
+    /// Convenience: build from a [`SimResult`].
+    pub fn from_result(result: &SimResult, duration: Time, creators: usize) -> RunStats {
+        Self::from_commits(&result.commits, duration, creators)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_types::{TxSample, ValidatorId};
+
+    fn ev(author: u32, txs: u64, samples: Vec<TxSample>) -> CommitEvent {
+        CommitEvent {
+            author: ValidatorId(author),
+            tx_count: txs,
+            tx_bytes: txs * 512,
+            samples,
+            round: 5,
+            anchor_round: 7,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn throughput_counts_each_creator_once() {
+        // Two validators each commit the same two blocks; each block's txs
+        // are counted only by its author.
+        let commits = vec![
+            (6 * SEC, 0usize, ev(0, 100, vec![])),
+            (6 * SEC, 0usize, ev(1, 200, vec![])), // replayed at node 0: not author's node
+            (6 * SEC, 1usize, ev(0, 100, vec![])),
+            (6 * SEC, 1usize, ev(1, 200, vec![])),
+        ];
+        let stats = RunStats::from_commits(&commits, 10 * SEC, 2);
+        // Window is 8 s; only (node 0, author 0) and (node 1, author 1).
+        assert!((stats.throughput_tps - 300.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warmup_is_discarded() {
+        let commits = vec![
+            (SEC, 0usize, ev(0, 1_000, vec![])),
+            (6 * SEC, 0usize, ev(0, 100, vec![])),
+        ];
+        let stats = RunStats::from_commits(&commits, 10 * SEC, 1);
+        assert!((stats.throughput_tps - 100.0 / 8.0).abs() < 1e-9);
+        assert_eq!(stats.total_txs, 1_100, "total still counts everything");
+    }
+
+    #[test]
+    fn latency_percentiles_and_dedup() {
+        let mk = |id, submit, at| {
+            (
+                at,
+                0usize,
+                ev(
+                    0,
+                    1,
+                    vec![TxSample {
+                        id,
+                        submit_ns: submit,
+                    }],
+                ),
+            )
+        };
+        let commits = vec![
+            mk(1, 5 * SEC, 6 * SEC), // 1 s
+            mk(1, 5 * SEC, 6 * SEC), // duplicate sample id: ignored
+            mk(2, 5 * SEC, 8 * SEC), // 3 s
+        ];
+        let stats = RunStats::from_commits(&commits, 10 * SEC, 1);
+        assert_eq!(stats.samples, 2);
+        assert!((stats.avg_latency_s - 2.0).abs() < 1e-9);
+        assert!(
+            (stats.p50_latency_s - 1.0).abs() < 1e-9 || (stats.p50_latency_s - 3.0).abs() < 1e-9
+        );
+        assert!((stats.commit_rounds - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,204 @@
+//! Builds and runs one system configuration on the WAN simulator.
+
+use crate::metrics::RunStats;
+use crate::params::BenchParams;
+use narwhal::AddressBook;
+use nt_crypto::Scheme;
+use nt_network::{Actor, NodeId, Time};
+use nt_simnet::{HostSpec, Partition, Region, SimConfig, SimMessage, Simulation, Topology};
+use nt_types::Committee;
+
+/// The systems of the paper's evaluation (§6, §7).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum System {
+    /// Narwhal mempool + Tusk asynchronous consensus (§5).
+    Tusk,
+    /// Narwhal mempool + DAG-Rider (4-round waves; §8.2 ablation).
+    DagRider,
+    /// Narwhal mempool + HotStuff ordering certificates (§3.2).
+    NarwhalHs,
+    /// Prism-style batched mempool + HotStuff (§6 "Batched-HS").
+    BatchedHs,
+    /// Transaction-gossip mempool + HotStuff (§6 "Baseline-HS").
+    BaselineHs,
+}
+
+impl System {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            System::Tusk => "Tusk",
+            System::DagRider => "DAG-Rider",
+            System::NarwhalHs => "Narwhal-HS",
+            System::BatchedHs => "Batched-HS",
+            System::BaselineHs => "Baseline-HS",
+        }
+    }
+}
+
+/// Builds the WAN topology for a Narwhal-style deployment: primaries spread
+/// round-robin over the paper's five regions, workers in their primary's
+/// data centre (§7: "the workers are in the same data center as their
+/// primary").
+pub fn narwhal_topology(params: &BenchParams) -> Topology {
+    let addr = AddressBook::new(params.nodes, params.workers);
+    let mut hosts = Vec::with_capacity(addr.total_hosts());
+    for v in 0..params.nodes {
+        hosts.push(HostSpec::new(v as u32, Region::for_index(v)));
+    }
+    for v in 0..params.nodes {
+        for _ in 0..params.workers {
+            hosts.push(HostSpec::new(v as u32, Region::for_index(v)));
+        }
+    }
+    Topology::new(hosts)
+}
+
+/// Node ids crashed by a fault schedule: the *last* `faults` validators'
+/// hosts (keeping validator 0 alive preserves a live HotStuff leader at
+/// view 0 while still exercising crashed leaders as views rotate).
+pub fn crash_schedule(params: &BenchParams) -> Vec<(NodeId, Time)> {
+    let addr = AddressBook::new(params.nodes, params.workers);
+    let mut crashes = Vec::new();
+    for v in (params.nodes - params.faults..params.nodes).map(|v| v as u32) {
+        crashes.push((addr.primary(nt_types::ValidatorId(v)), 0));
+        for w in 0..params.workers {
+            crashes.push((
+                addr.worker(nt_types::ValidatorId(v), nt_types::WorkerId(w)),
+                0,
+            ));
+        }
+    }
+    crashes
+}
+
+/// Runs `system` under `params` and returns aggregate statistics.
+///
+/// `partitions` optionally scripts periods of asynchrony (Table 1).
+pub fn run_system(system: System, params: &BenchParams, partitions: Vec<Partition>) -> RunStats {
+    match system {
+        System::Tusk | System::DagRider => run_dag_system(system, params, partitions),
+        // The HotStuff arms are wired in `runner_hs` (see below).
+        System::NarwhalHs => crate::runner_hs::run_narwhal_hs(params, partitions),
+        System::BatchedHs => crate::runner_hs::run_batched_hs(params, partitions),
+        System::BaselineHs => crate::runner_hs::run_baseline_hs(params, partitions),
+    }
+}
+
+fn run_dag_system(system: System, params: &BenchParams, partitions: Vec<Partition>) -> RunStats {
+    let (committee, kps) = Committee::deterministic(params.nodes, params.workers, Scheme::Insecure);
+    let config = params.narwhal_config();
+    let actors: Vec<Box<dyn Actor<Message = tusk::TuskMsg>>> = match system {
+        System::Tusk => {
+            tusk::build_tusk_actors(&committee, &kps, &config, params.workers, params.seed)
+        }
+        System::DagRider => build_dag_rider_actors(&committee, &kps, &config, params),
+        _ => unreachable!("dag systems only"),
+    };
+    run_actors(actors, params, partitions)
+}
+
+fn build_dag_rider_actors(
+    committee: &Committee,
+    kps: &[nt_crypto::KeyPair],
+    config: &narwhal::NarwhalConfig,
+    params: &BenchParams,
+) -> Vec<Box<dyn Actor<Message = tusk::TuskMsg>>> {
+    let addr = AddressBook::new(committee.size(), params.workers);
+    let mut actors: Vec<Box<dyn Actor<Message = tusk::TuskMsg>>> = Vec::new();
+    for v in 0..committee.size() as u32 {
+        actors.push(Box::new(narwhal::Primary::new(
+            committee.clone(),
+            config.clone(),
+            addr,
+            nt_types::ValidatorId(v),
+            kps[v as usize].clone(),
+            tusk::DagRider::new(committee.clone(), params.seed),
+        )));
+    }
+    for v in 0..committee.size() as u32 {
+        for w in 0..params.workers {
+            actors.push(Box::new(narwhal::Worker::<narwhal::NoExt>::new(
+                committee.clone(),
+                config.clone(),
+                addr,
+                nt_types::ValidatorId(v),
+                nt_types::WorkerId(w),
+            )));
+        }
+    }
+    actors
+}
+
+/// Shared runner: topology + crash schedule + simulation + metrics.
+pub fn run_actors<M: SimMessage>(
+    actors: Vec<Box<dyn Actor<Message = M>>>,
+    params: &BenchParams,
+    partitions: Vec<Partition>,
+) -> RunStats {
+    let topology = narwhal_topology(params);
+    let mut config = SimConfig::new(params.seed, params.duration);
+    config.crashes = crash_schedule(params);
+    config.partitions = partitions;
+    let sim = Simulation::new(topology, config, actors);
+    let result = sim.run();
+    RunStats::from_result(&result, params.duration, params.nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_network::SEC;
+
+    #[test]
+    fn tusk_smoke_commits_transactions() {
+        let params = BenchParams {
+            nodes: 4,
+            workers: 1,
+            rate: 2_000.0,
+            duration: 20 * SEC,
+            seed: 3,
+            ..Default::default()
+        };
+        let stats = run_system(System::Tusk, &params, vec![]);
+        assert!(
+            stats.throughput_tps > 1_000.0,
+            "committed ~input rate, got {:.0} tps",
+            stats.throughput_tps
+        );
+        assert!(
+            stats.avg_latency_s > 0.1 && stats.avg_latency_s < 10.0,
+            "plausible WAN latency, got {:.2}s",
+            stats.avg_latency_s
+        );
+    }
+
+    #[test]
+    fn tusk_is_deterministic_per_seed() {
+        let params = BenchParams {
+            nodes: 4,
+            rate: 1_000.0,
+            duration: 10 * SEC,
+            seed: 42,
+            ..Default::default()
+        };
+        let a = run_system(System::Tusk, &params, vec![]);
+        let b = run_system(System::Tusk, &params, vec![]);
+        assert_eq!(a.total_txs, b.total_txs);
+        assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn crash_schedule_spares_early_validators() {
+        let params = BenchParams {
+            nodes: 10,
+            workers: 1,
+            faults: 3,
+            ..Default::default()
+        };
+        let crashes = crash_schedule(&params);
+        // 3 primaries + 3 workers.
+        assert_eq!(crashes.len(), 6);
+        assert!(crashes.iter().all(|(node, _)| *node >= 7));
+    }
+}

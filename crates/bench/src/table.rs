@@ -1,0 +1,36 @@
+//! Plain-text table output for bench targets.
+//!
+//! The harness prints the same series the paper plots; `EXPERIMENTS.md`
+//! records paper-vs-measured values from these tables.
+
+use crate::metrics::RunStats;
+
+/// Prints a labelled series of `(x, stats)` rows with a header.
+pub fn print_series(title: &str, x_label: &str, rows: &[(String, RunStats)]) {
+    println!();
+    println!("== {title}");
+    println!(
+        "{:<24} {:>12} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        x_label, "tput(tx/s)", "MB/s", "avg(s)", "p50(s)", "p99(s)", "rounds"
+    );
+    for (x, s) in rows {
+        println!(
+            "{:<24} {:>12.0} {:>10.1} {:>10.2} {:>10.2} {:>10.2} {:>8.1}",
+            x,
+            s.throughput_tps,
+            s.throughput_mbs,
+            s.avg_latency_s,
+            s.p50_latency_s,
+            s.p99_latency_s,
+            s.commit_rounds
+        );
+    }
+}
+
+/// Formats a stats row compactly for inline reporting.
+pub fn row(s: &RunStats) -> String {
+    format!(
+        "{:.0} tx/s, avg {:.2}s, p50 {:.2}s",
+        s.throughput_tps, s.avg_latency_s, s.p50_latency_s
+    )
+}

@@ -1,0 +1,123 @@
+//! Narwhal configuration with the paper's baseline parameters (§7).
+
+use nt_network::{Time, MS};
+
+/// Synthetic load generation (simulation mode).
+///
+/// In the paper, "one benchmark client per worker submits transactions at
+/// a fixed rate"; in simulation mode each worker generates its own input
+/// stream so that client-to-worker links (which are local) need not be
+/// simulated.
+#[derive(Clone, Copy, Debug)]
+pub struct SyntheticLoad {
+    /// Transactions per second submitted to this worker.
+    pub rate_tps: f64,
+}
+
+/// Tunable Narwhal parameters.
+#[derive(Clone, Debug)]
+pub struct NarwhalConfig {
+    /// Target batch size in bytes (paper baseline: 500 KB).
+    pub batch_bytes: usize,
+    /// Transaction size in bytes (paper baseline: 512 B).
+    pub tx_bytes: usize,
+    /// Seal a non-empty batch after this delay even if under-sized.
+    pub max_batch_delay: Time,
+    /// Propose a block after this delay even with an empty payload
+    /// (empty blocks keep the DAG — and thus consensus — alive).
+    pub max_header_delay: Time,
+    /// Maximum number of batch digests per block. Bounds the primary block
+    /// at ~2.5 KB; at ten workers the scale-out needs ~40 digests per block
+    /// (§4.2's "future bottleneck" arithmetic).
+    pub header_payload_limit: usize,
+    /// Rounds kept in memory behind the last committed anchor (§3.3).
+    pub gc_depth: u64,
+    /// Retry interval for pull synchronization (§4.1).
+    pub sync_retry_delay: Time,
+    /// Re-broadcast interval for the current un-certified block.
+    pub resend_delay: Time,
+    /// Latency-tracking samples embedded per batch.
+    pub samples_per_batch: usize,
+    /// If set, workers self-generate synthetic load at this rate.
+    pub load: Option<SyntheticLoad>,
+}
+
+impl Default for NarwhalConfig {
+    fn default() -> Self {
+        NarwhalConfig {
+            batch_bytes: 500_000,
+            tx_bytes: 512,
+            max_batch_delay: 100 * MS,
+            max_header_delay: 100 * MS,
+            header_payload_limit: 64,
+            gc_depth: 50,
+            sync_retry_delay: 500 * MS,
+            resend_delay: 1_000 * MS,
+            samples_per_batch: 4,
+            load: None,
+        }
+    }
+}
+
+impl NarwhalConfig {
+    /// Config with synthetic load at `rate_tps` transactions/sec per worker.
+    pub fn with_load(rate_tps: f64) -> Self {
+        NarwhalConfig {
+            load: Some(SyntheticLoad { rate_tps }),
+            ..Default::default()
+        }
+    }
+
+    /// Transactions per sealed batch under synthetic load.
+    pub fn batch_tx_count(&self) -> u64 {
+        (self.batch_bytes / self.tx_bytes).max(1) as u64
+    }
+
+    /// Interval between sealed batches at `rate_tps`, capped by
+    /// `max_batch_delay`.
+    pub fn batch_interval(&self, rate_tps: f64) -> Time {
+        if rate_tps <= 0.0 {
+            return self.max_batch_delay;
+        }
+        let secs = self.batch_tx_count() as f64 / rate_tps;
+        let ns = (secs * nt_network::SEC as f64) as Time;
+        ns.clamp(MS, self.max_batch_delay)
+    }
+
+    /// Transactions generated in one `interval` at `rate_tps`.
+    pub fn txs_in_interval(&self, rate_tps: f64, interval: Time) -> u64 {
+        ((rate_tps * interval as f64) / nt_network::SEC as f64).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_baseline() {
+        let c = NarwhalConfig::default();
+        assert_eq!(c.batch_bytes, 500_000);
+        assert_eq!(c.tx_bytes, 512);
+        assert_eq!(c.batch_tx_count(), 976);
+    }
+
+    #[test]
+    fn batch_interval_scales_with_rate() {
+        let c = NarwhalConfig::default();
+        // ~976 tx/batch at 10k tps = ~98 ms.
+        let at_10k = c.batch_interval(10_000.0);
+        assert!(at_10k > 90 * MS && at_10k <= 100 * MS, "{at_10k}");
+        // High rates seal faster.
+        assert!(c.batch_interval(100_000.0) < at_10k);
+        // Low rates are capped by max delay.
+        assert_eq!(c.batch_interval(10.0), c.max_batch_delay);
+    }
+
+    #[test]
+    fn txs_in_interval_matches_rate() {
+        let c = NarwhalConfig::default();
+        let n = c.txs_in_interval(50_000.0, 100 * MS);
+        assert_eq!(n, 5_000);
+    }
+}

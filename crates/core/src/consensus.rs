@@ -1,0 +1,111 @@
+//! The plug-in interface consensus protocols implement over the DAG.
+//!
+//! Figure 3 of the paper: "Any consensus protocol can execute over the
+//! mempool by occasionally ordering certificates to Narwhal blocks." This
+//! trait is that boundary. The primary feeds every DAG insertion to the
+//! consensus module; the module returns *anchors* — certificates whose
+//! causal histories the primary then linearizes and commits. Protocols that
+//! exchange their own messages (HotStuff) declare an extension message type;
+//! Tusk's is the empty [`NoExt`].
+
+use crate::dag::Dag;
+use nt_network::Time;
+use nt_types::{Certificate, ValidatorId};
+
+/// Effects a consensus module can request.
+pub struct ConsensusOut<Ext> {
+    /// Anchor certificates in commit order; the primary linearizes each
+    /// anchor's not-yet-ordered causal history.
+    pub anchors: Vec<Certificate>,
+    /// Anchors referenced by header digest (Narwhal-HS commits digests it
+    /// may not hold as full certificates yet). The primary resolves them in
+    /// order, pulling missing certificates first. `ValidatorId` is a hint
+    /// for who should have the certificate.
+    pub anchor_digests: Vec<(nt_crypto::Digest, ValidatorId)>,
+    /// Certificates to pull proactively (availability checks before votes).
+    pub request_certs: Vec<(nt_crypto::Digest, ValidatorId)>,
+    /// Messages to send to specific peer primaries.
+    pub sends: Vec<(ValidatorId, Ext)>,
+    /// Messages to broadcast to all peer primaries.
+    pub broadcasts: Vec<Ext>,
+    /// Timers to arm (tag values are namespaced by the primary).
+    pub timers: Vec<(Time, u64)>,
+}
+
+impl<Ext> Default for ConsensusOut<Ext> {
+    fn default() -> Self {
+        ConsensusOut {
+            anchors: Vec::new(),
+            anchor_digests: Vec::new(),
+            request_certs: Vec::new(),
+            sends: Vec::new(),
+            broadcasts: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+}
+
+/// A consensus protocol ordering the Narwhal DAG.
+pub trait DagConsensus: Send {
+    /// The protocol's own wire messages (see [`NoExt`] for none).
+    type Ext: Clone + Send + 'static;
+
+    /// Called once at start-up.
+    fn on_start(&mut self, out: &mut ConsensusOut<Self::Ext>) {
+        let _ = out;
+    }
+
+    /// Called after every certificate insertion into the local DAG.
+    fn on_certificate(&mut self, dag: &Dag, cert: &Certificate, out: &mut ConsensusOut<Self::Ext>);
+
+    /// Called when a consensus extension message arrives from a peer.
+    fn on_message(
+        &mut self,
+        from: ValidatorId,
+        msg: Self::Ext,
+        dag: &Dag,
+        out: &mut ConsensusOut<Self::Ext>,
+    ) {
+        let _ = (from, msg, dag, out);
+    }
+
+    /// Called when a consensus timer fires.
+    fn on_timer(&mut self, tag: u64, dag: &Dag, out: &mut ConsensusOut<Self::Ext>) {
+        let _ = (tag, dag, out);
+    }
+}
+
+/// The uninhabited extension type for zero-message-overhead protocols.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NoExt {}
+
+/// A consensus module that never commits (pure mempool operation).
+///
+/// Useful for benchmarking Narwhal's dissemination layer in isolation and
+/// for tests of the mempool alone.
+#[derive(Default)]
+pub struct NoConsensus;
+
+impl DagConsensus for NoConsensus {
+    type Ext = NoExt;
+
+    fn on_certificate(&mut self, _: &Dag, _: &Certificate, _: &mut ConsensusOut<NoExt>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_consensus_produces_nothing() {
+        let mut nc = NoConsensus;
+        let dag = Dag::new();
+        let cert = Certificate::genesis(ValidatorId(0));
+        let mut out = ConsensusOut::default();
+        nc.on_certificate(&dag, &cert, &mut out);
+        assert!(out.anchors.is_empty());
+        assert!(out.sends.is_empty());
+        assert!(out.broadcasts.is_empty());
+        assert!(out.timers.is_empty());
+    }
+}

@@ -1,0 +1,431 @@
+//! The round-based block DAG (§2.1, §3.1).
+//!
+//! The DAG stores *certified* blocks only, indexed by round and author.
+//! Within a round each author holds at most one certificate — quorum
+//! intersection makes equivocation at the certificate level impossible
+//! (two certificates for the same `(round, author)` would require an honest
+//! validator to sign two blocks from one author in one round).
+//!
+//! The structure also implements the graph queries consensus needs: strong
+//! path existence (Tusk's commit rule), support counting (blocks of round
+//! `r + 1` referencing a candidate leader of round `r`), and deterministic
+//! linearization of an anchor's causal history.
+//!
+//! Garbage collection (§3.3) is expressed by the *first retained round*:
+//! everything below it has been pruned, late messages for pruned rounds are
+//! ignored, and history traversal stops at the boundary.
+
+use nt_crypto::Digest;
+use nt_types::{Certificate, Round, ValidatorId};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+/// Result of inserting a certificate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InsertOutcome {
+    /// The certificate extended the DAG.
+    Inserted,
+    /// Already present (same `(round, author)`).
+    Duplicate,
+    /// Below the first retained round; ignored (§3.3).
+    BelowGc,
+}
+
+/// The local DAG of certified blocks.
+#[derive(Default)]
+pub struct Dag {
+    rounds: BTreeMap<Round, BTreeMap<ValidatorId, Certificate>>,
+    /// Header digest → position, for parent lookups.
+    by_digest: HashMap<Digest, (Round, ValidatorId)>,
+    /// Rounds strictly below this are pruned. 0 = nothing pruned.
+    first_retained: Round,
+}
+
+impl Dag {
+    /// An empty DAG (no genesis yet).
+    pub fn new() -> Self {
+        Dag::default()
+    }
+
+    /// Inserts the genesis certificates of all validators.
+    pub fn insert_genesis(&mut self, genesis: Vec<Certificate>) {
+        for cert in genesis {
+            self.insert(cert);
+        }
+    }
+
+    /// Inserts a certified block.
+    pub fn insert(&mut self, cert: Certificate) -> InsertOutcome {
+        let round = cert.round();
+        if round < self.first_retained {
+            return InsertOutcome::BelowGc;
+        }
+        let author = cert.origin();
+        let slot = self.rounds.entry(round).or_default();
+        if slot.contains_key(&author) {
+            return InsertOutcome::Duplicate;
+        }
+        self.by_digest.insert(cert.header_digest(), (round, author));
+        slot.insert(author, cert);
+        InsertOutcome::Inserted
+    }
+
+    /// The certificate of `author` at `round`, if any.
+    pub fn get(&self, round: Round, author: ValidatorId) -> Option<&Certificate> {
+        self.rounds.get(&round)?.get(&author)
+    }
+
+    /// Looks up a certified block by header digest.
+    pub fn get_by_digest(&self, digest: &Digest) -> Option<&Certificate> {
+        let (round, author) = self.by_digest.get(digest)?;
+        self.get(*round, *author)
+    }
+
+    /// True if a certificate for this header digest is present.
+    pub fn contains_digest(&self, digest: &Digest) -> bool {
+        self.by_digest.contains_key(digest)
+    }
+
+    /// Number of certificates in `round`.
+    pub fn round_size(&self, round: Round) -> usize {
+        self.rounds.get(&round).map_or(0, BTreeMap::len)
+    }
+
+    /// Iterates the certificates of `round` in author order.
+    pub fn round_certs(&self, round: Round) -> impl Iterator<Item = &Certificate> {
+        self.rounds
+            .get(&round)
+            .into_iter()
+            .flat_map(BTreeMap::values)
+    }
+
+    /// Highest round containing any certificate.
+    pub fn highest_round(&self) -> Round {
+        self.rounds.keys().next_back().copied().unwrap_or(0)
+    }
+
+    /// The first round still held in memory (0 = nothing pruned yet).
+    pub fn first_retained_round(&self) -> Round {
+        self.first_retained
+    }
+
+    /// Total certificates currently held (the §3.3 memory-bound metric).
+    pub fn len(&self) -> usize {
+        self.rounds.values().map(BTreeMap::len).sum()
+    }
+
+    /// True if the DAG holds no certificates.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// Parents of `cert` that are required (above the GC boundary) but
+    /// missing locally.
+    pub fn missing_parents(&self, cert: &Certificate) -> Vec<Digest> {
+        if cert.round() <= self.first_retained {
+            // Parents would live below the first retained round.
+            return Vec::new();
+        }
+        cert.header
+            .parents
+            .iter()
+            .filter(|d| !self.by_digest.contains_key(*d))
+            .copied()
+            .collect()
+    }
+
+    /// Number of blocks in `round + 1` whose parents include `digest`
+    /// (the "votes" of Tusk's commit rule, §5).
+    pub fn support(&self, digest: &Digest, round: Round) -> usize {
+        self.round_certs(round + 1)
+            .filter(|c| c.header.parents.contains(digest))
+            .count()
+    }
+
+    /// True if a path of parent edges leads from `from` down to `to`.
+    ///
+    /// `from` must be at a strictly higher round than `to`.
+    pub fn path_exists(&self, from: &Certificate, to: &Certificate) -> bool {
+        let target = to.header_digest();
+        let target_round = to.round();
+        if from.round() <= target_round {
+            return false;
+        }
+        let mut queue: VecDeque<Digest> = VecDeque::new();
+        let mut seen: HashSet<Digest> = HashSet::new();
+        queue.push_back(from.header_digest());
+        while let Some(digest) = queue.pop_front() {
+            if digest == target {
+                return true;
+            }
+            let Some(cert) = self.get_by_digest(&digest) else {
+                continue;
+            };
+            if cert.round() <= target_round {
+                continue;
+            }
+            for parent in &cert.header.parents {
+                if seen.insert(*parent) {
+                    queue.push_back(*parent);
+                }
+            }
+        }
+        false
+    }
+
+    /// Collects the not-yet-ordered causal history of `anchor`, inclusive,
+    /// in the deterministic commit order: ascending round, then ascending
+    /// author within a round.
+    ///
+    /// Returns `Err(missing)` when some ancestors above the GC boundary are
+    /// not locally available (the caller must pull them first, §4.1).
+    /// Digests in `ordered` and pruned rounds are skipped (§3.3).
+    pub fn collect_history(
+        &self,
+        anchor: &Certificate,
+        ordered: &HashSet<Digest>,
+    ) -> Result<Vec<Certificate>, Vec<Digest>> {
+        let mut missing = Vec::new();
+        let mut out: Vec<Certificate> = Vec::new();
+        let mut seen: HashSet<Digest> = HashSet::new();
+        let mut queue: VecDeque<Digest> = VecDeque::new();
+        queue.push_back(anchor.header_digest());
+        seen.insert(anchor.header_digest());
+        while let Some(digest) = queue.pop_front() {
+            if ordered.contains(&digest) {
+                continue;
+            }
+            let Some(cert) = self.get_by_digest(&digest) else {
+                missing.push(digest);
+                continue;
+            };
+            out.push(cert.clone());
+            if cert.round() <= self.first_retained {
+                // Parents are pruned (or genesis has none): stop here.
+                continue;
+            }
+            for parent in &cert.header.parents {
+                if seen.insert(*parent) {
+                    queue.push_back(*parent);
+                }
+            }
+        }
+        if !missing.is_empty() {
+            return Err(missing);
+        }
+        out.sort_by_key(|c| (c.round(), c.origin()));
+        Ok(out)
+    }
+
+    /// Prunes all rounds at or below `gc_round`, returning the pruned
+    /// certificates (the primary inspects them for §3.3 re-injection).
+    pub fn gc(&mut self, gc_round: Round) -> Vec<Certificate> {
+        let new_first = gc_round + 1;
+        if new_first <= self.first_retained {
+            return Vec::new();
+        }
+        self.first_retained = new_first;
+        let mut pruned = Vec::new();
+        let keep = self.rounds.split_off(&new_first);
+        for (_, certs) in std::mem::replace(&mut self.rounds, keep) {
+            for (_, cert) in certs {
+                self.by_digest.remove(&cert.header_digest());
+                pruned.push(cert);
+            }
+        }
+        pruned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_crypto::{Hashable, KeyPair, Scheme};
+    use nt_types::{Committee, Header, Vote};
+
+    /// Builds a committee and a fully-connected DAG of `rounds` rounds where
+    /// every validator references all certificates of the previous round.
+    pub(crate) fn full_dag(n: usize, rounds: Round) -> (Committee, Vec<KeyPair>, Dag) {
+        let (committee, kps) = Committee::deterministic(n, 1, Scheme::Insecure);
+        let mut dag = Dag::new();
+        dag.insert_genesis(Certificate::genesis_set(&committee));
+        for r in 1..=rounds {
+            let parents: Vec<Digest> = dag.round_certs(r - 1).map(|c| c.header_digest()).collect();
+            for (i, kp) in kps.iter().enumerate() {
+                let header =
+                    Header::new(kp, ValidatorId(i as u32), r, vec![], parents.clone(), None);
+                let votes: Vec<Vote> = kps
+                    .iter()
+                    .enumerate()
+                    .map(|(j, vkp)| {
+                        Vote::new(
+                            vkp,
+                            ValidatorId(j as u32),
+                            header.digest(),
+                            r,
+                            header.author,
+                        )
+                    })
+                    .collect();
+                let cert = Certificate::from_votes(&committee, header, &votes).expect("quorum");
+                assert_eq!(dag.insert(cert), InsertOutcome::Inserted);
+            }
+        }
+        (committee, kps, dag)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let (_, _, dag) = full_dag(4, 3);
+        assert_eq!(dag.round_size(0), 4);
+        assert_eq!(dag.round_size(3), 4);
+        assert_eq!(dag.highest_round(), 3);
+        assert_eq!(dag.len(), 16);
+        let cert = dag.get(2, ValidatorId(1)).expect("present");
+        assert!(dag.contains_digest(&cert.header_digest()));
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let (_, _, mut dag) = full_dag(4, 1);
+        let cert = dag.get(1, ValidatorId(0)).unwrap().clone();
+        assert_eq!(dag.insert(cert), InsertOutcome::Duplicate);
+    }
+
+    #[test]
+    fn support_counts_referencing_blocks() {
+        let (_, _, dag) = full_dag(4, 2);
+        // Fully connected: all 4 round-2 blocks reference each round-1 block.
+        let leader = dag.get(1, ValidatorId(2)).unwrap();
+        assert_eq!(dag.support(&leader.header_digest(), 1), 4);
+        // Nothing at the top round references anyone yet.
+        let top = dag.get(2, ValidatorId(0)).unwrap();
+        assert_eq!(dag.support(&top.header_digest(), 2), 0);
+    }
+
+    #[test]
+    fn path_exists_in_full_dag() {
+        let (_, _, dag) = full_dag(4, 4);
+        let high = dag.get(4, ValidatorId(0)).unwrap();
+        let low = dag.get(1, ValidatorId(3)).unwrap();
+        assert!(dag.path_exists(high, low));
+        assert!(!dag.path_exists(low, high), "paths only go down");
+    }
+
+    #[test]
+    fn collect_history_is_deterministic_and_complete() {
+        let (_, _, dag) = full_dag(4, 3);
+        let anchor = dag.get(3, ValidatorId(1)).unwrap().clone();
+        let mut ordered = HashSet::new();
+        let history = dag.collect_history(&anchor, &ordered).expect("complete");
+        // Genesis + rounds 1-2 + the anchor itself.
+        assert_eq!(history.len(), 4 * 3 + 1);
+        // Sorted by (round, author).
+        for w in history.windows(2) {
+            assert!((w[0].round(), w[0].origin()) < (w[1].round(), w[1].origin()));
+        }
+        // A second anchor at the same round orders only itself
+        // (Containment: its history is a subset of what is ordered).
+        for c in &history {
+            ordered.insert(c.header_digest());
+        }
+        let anchor2 = dag.get(3, ValidatorId(2)).unwrap().clone();
+        let rest = dag.collect_history(&anchor2, &ordered).expect("complete");
+        assert_eq!(rest.len(), 1);
+    }
+
+    #[test]
+    fn collect_history_reports_missing() {
+        let (committee, kps, dag) = full_dag(4, 2);
+        // Build a round-3 block whose parents are round-2 certs, but insert
+        // it into a *fresh* DAG missing one parent.
+        let parents: Vec<Digest> = dag.round_certs(2).map(|c| c.header_digest()).collect();
+        let header = Header::new(&kps[0], ValidatorId(0), 3, vec![], parents, None);
+        let votes: Vec<Vote> = kps
+            .iter()
+            .enumerate()
+            .map(|(j, vkp)| {
+                Vote::new(
+                    vkp,
+                    ValidatorId(j as u32),
+                    header.digest(),
+                    3,
+                    header.author,
+                )
+            })
+            .collect();
+        let anchor = Certificate::from_votes(&committee, header, &votes).unwrap();
+
+        let mut partial = Dag::new();
+        partial.insert_genesis(Certificate::genesis_set(&committee));
+        for r in 1..=2 {
+            for c in dag.round_certs(r) {
+                if r == 2 && c.origin() == ValidatorId(3) {
+                    continue;
+                }
+                partial.insert(c.clone());
+            }
+        }
+        partial.insert(anchor.clone());
+        let missing = partial
+            .collect_history(&anchor, &HashSet::new())
+            .expect_err("one parent missing");
+        assert_eq!(missing.len(), 1);
+        assert_eq!(
+            missing[0],
+            dag.get(2, ValidatorId(3)).unwrap().header_digest()
+        );
+    }
+
+    #[test]
+    fn missing_parents_empty_when_present() {
+        let (_, _, dag) = full_dag(4, 2);
+        let cert = dag.get(2, ValidatorId(0)).unwrap();
+        assert!(dag.missing_parents(cert).is_empty());
+    }
+
+    #[test]
+    fn gc_prunes_and_rejects_old() {
+        let (_, _, mut dag) = full_dag(4, 5);
+        let pruned = dag.gc(2);
+        assert_eq!(pruned.len(), 4 * 3, "rounds 0-2 pruned");
+        assert_eq!(dag.round_size(2), 0);
+        assert_eq!(dag.round_size(3), 4);
+        assert_eq!(dag.first_retained_round(), 3);
+        // Late certificates below the boundary are ignored.
+        let old = pruned
+            .iter()
+            .find(|c| c.round() == 2)
+            .expect("round-2 cert")
+            .clone();
+        assert_eq!(dag.insert(old), InsertOutcome::BelowGc);
+        // GC never regresses.
+        assert!(dag.gc(1).is_empty());
+    }
+
+    #[test]
+    fn history_respects_gc_boundary() {
+        let (_, _, mut dag) = full_dag(4, 4);
+        dag.gc(2);
+        let anchor = dag.get(4, ValidatorId(0)).unwrap().clone();
+        let history = dag
+            .collect_history(&anchor, &HashSet::new())
+            .expect("rounds above gc are complete");
+        // Only rounds 3 and 4 remain orderable.
+        assert!(history.iter().all(|c| c.round() >= 3));
+        assert_eq!(history.len(), 4 + 1);
+    }
+
+    #[test]
+    fn memory_stays_bounded_with_gc() {
+        // The §3.3 claim: with GC the working set is O(gc_depth * n).
+        let (_, _, mut dag) = full_dag(4, 30);
+        assert_eq!(dag.len(), 4 * 31, "everything retained without GC");
+        for r in 10u64..=30 {
+            dag.gc(r - 10);
+        }
+        // With a sliding GC window of depth 10, only rounds 21..=30 remain.
+        assert_eq!(dag.len(), 4 * 10);
+        assert_eq!(dag.round_size(20), 0);
+        assert_eq!(dag.round_size(21), 4);
+    }
+}

@@ -1,0 +1,1107 @@
+//! The primary state machine (§3.1, §3.3, §4.1).
+//!
+//! The primary builds the DAG: it proposes one block per round containing
+//! the batch digests its workers certified, votes for valid peer blocks,
+//! assembles `2f + 1` votes into certificates of availability, advances
+//! rounds when a quorum of certificates for the previous round is known,
+//! pulls missing certified blocks (quorum-based reliable broadcast), and
+//! garbage-collects the DAG behind the consensus commit point, re-injecting
+//! transactions from garbage-collected uncommitted blocks.
+//!
+//! Consensus is a plug-in ([`DagConsensus`]): Tusk interprets the DAG
+//! locally with zero extra messages; Narwhal-HotStuff exchanges extension
+//! messages through the same primary.
+
+use crate::config::NarwhalConfig;
+use crate::consensus::{ConsensusOut, DagConsensus};
+use crate::dag::{Dag, InsertOutcome};
+use crate::deployment::AddressBook;
+use crate::messages::{BatchInfo, NarwhalMsg};
+use nt_crypto::{CoinShare, Digest, Hashable, KeyPair};
+use nt_network::{Actor, Context, NodeId, Time};
+use nt_types::{Certificate, CommitEvent, Committee, Header, Round, ValidatorId, Vote};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+const TAG_PROPOSE: u64 = 1;
+const TAG_RETRY: u64 = 2;
+/// Consensus timer tags are namespaced above this base.
+const CONSENSUS_TAG_BASE: u64 = 1 << 32;
+
+struct PendingHeader {
+    header: Header,
+    missing_parents: HashSet<Digest>,
+    missing_batches: HashSet<Digest>,
+}
+
+struct MissingCert {
+    hint: ValidatorId,
+    attempts: u32,
+    last: Time,
+}
+
+/// An anchor pending linearization: either a held certificate or a digest
+/// still being resolved (Narwhal-HS commits digests).
+// The size gap between variants is fine: the queue is short-lived and small.
+#[allow(clippy::large_enum_variant)]
+enum AnchorKey {
+    Cert(Certificate),
+    Digest(Digest, ValidatorId),
+}
+
+/// The primary of one validator, generic over the consensus plug-in.
+pub struct Primary<C: DagConsensus> {
+    committee: Committee,
+    config: NarwhalConfig,
+    addr: AddressBook,
+    me: ValidatorId,
+    keypair: KeyPair,
+    dag: Dag,
+    /// The round we currently propose and vote in.
+    round: Round,
+    round_entered: Time,
+    last_proposed: Round,
+    current_header: Option<Header>,
+    current_votes: Vec<Vote>,
+    /// The block digest we acknowledged per (round, creator): enforces
+    /// §3.1 condition 4 (one block per creator per round) while keeping
+    /// votes idempotent — re-delivered blocks get the same vote again,
+    /// which is what makes the §4.1 retransmission recover lost votes.
+    voted: BTreeMap<Round, HashMap<ValidatorId, Digest>>,
+    /// Own-batch digests ready for inclusion (from own workers).
+    pending_digests: VecDeque<BatchInfo>,
+    /// Digests queued or included but not yet committed (for re-injection).
+    batch_meta: HashMap<Digest, BatchInfo>,
+    /// Batches our workers hold (availability condition for voting, §4.2).
+    stored_batches: HashSet<Digest>,
+    /// Own batches that reached the committed sequence.
+    committed_batches: HashSet<Digest>,
+    /// Payload digests of our own proposed blocks, per round (§3.3).
+    own_payloads: BTreeMap<Round, Vec<Digest>>,
+    /// Peer blocks waiting for parents or batch availability.
+    pending_headers: HashMap<Digest, PendingHeader>,
+    waiting_on_parent: HashMap<Digest, Vec<Digest>>,
+    waiting_on_batch: HashMap<Digest, Vec<Digest>>,
+    /// Certified blocks referenced but not yet held (pull sync, §4.1).
+    missing_certs: HashMap<Digest, MissingCert>,
+    /// Certificates whose ancestry is incomplete, keyed by a missing parent.
+    ///
+    /// The DAG (and thus consensus) only ever sees certificates whose full
+    /// causal history is local. This is the invariant that makes Tusk's
+    /// path queries evaluate over complete causal cones, so every validator
+    /// computing the commit recursion over the same anchor gets the same
+    /// answer.
+    suspended: HashMap<Digest, Vec<Certificate>>,
+    /// Digests currently suspended (deduplication).
+    suspended_digests: HashSet<Digest>,
+    /// Headers already ordered into the committed sequence.
+    ordered: HashSet<Digest>,
+    /// Anchors waiting for their causal history to be locally complete.
+    pending_anchors: VecDeque<AnchorKey>,
+    sequence: u64,
+    consensus: C,
+}
+
+impl<C: DagConsensus> Primary<C> {
+    /// Creates the primary for validator `me`.
+    pub fn new(
+        committee: Committee,
+        config: NarwhalConfig,
+        addr: AddressBook,
+        me: ValidatorId,
+        keypair: KeyPair,
+        consensus: C,
+    ) -> Self {
+        Primary {
+            committee,
+            config,
+            addr,
+            me,
+            keypair,
+            dag: Dag::new(),
+            round: 0,
+            round_entered: 0,
+            last_proposed: 0,
+            current_header: None,
+            current_votes: Vec::new(),
+            voted: BTreeMap::new(),
+            pending_digests: VecDeque::new(),
+            batch_meta: HashMap::new(),
+            stored_batches: HashSet::new(),
+            committed_batches: HashSet::new(),
+            own_payloads: BTreeMap::new(),
+            pending_headers: HashMap::new(),
+            waiting_on_parent: HashMap::new(),
+            waiting_on_batch: HashMap::new(),
+            missing_certs: HashMap::new(),
+            suspended: HashMap::new(),
+            suspended_digests: HashSet::new(),
+            ordered: HashSet::new(),
+            pending_anchors: VecDeque::new(),
+            sequence: 0,
+            consensus,
+        }
+    }
+
+    /// Current local round (tests/metrics).
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The local DAG (tests/metrics).
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// Number of blocks ordered so far (tests/metrics).
+    pub fn ordered_len(&self) -> usize {
+        self.ordered.len()
+    }
+
+    /// Access to the consensus plug-in (tests/metrics).
+    pub fn consensus(&self) -> &C {
+        &self.consensus
+    }
+
+    fn apply_consensus_out(
+        &mut self,
+        out: ConsensusOut<C::Ext>,
+        ctx: &mut Context<NarwhalMsg<C::Ext>>,
+    ) {
+        for (to, msg) in out.sends {
+            ctx.send(self.addr.primary(to), NarwhalMsg::Ext(msg));
+        }
+        for msg in out.broadcasts {
+            for node in self.addr.other_primaries(self.me) {
+                ctx.send(node, NarwhalMsg::Ext(msg.clone()));
+            }
+        }
+        for (delay, tag) in out.timers {
+            ctx.timer(delay, CONSENSUS_TAG_BASE + tag);
+        }
+        for (digest, hint) in out.request_certs {
+            self.request_cert(digest, hint, ctx);
+        }
+        let had_anchors = !out.anchors.is_empty() || !out.anchor_digests.is_empty();
+        self.pending_anchors
+            .extend(out.anchors.into_iter().map(AnchorKey::Cert));
+        self.pending_anchors.extend(
+            out.anchor_digests
+                .into_iter()
+                .map(|(d, hint)| AnchorKey::Digest(d, hint)),
+        );
+        if had_anchors {
+            self.drain_anchors(ctx);
+        }
+    }
+
+    /// Commits pending anchors whose causal history is locally complete,
+    /// strictly in order (§5: the committed leader sequence is common to
+    /// all validators, so linearization must not skip ahead).
+    fn drain_anchors(&mut self, ctx: &mut Context<NarwhalMsg<C::Ext>>) {
+        while let Some(key) = self.pending_anchors.front() {
+            let anchor = match key {
+                AnchorKey::Cert(cert) => cert.clone(),
+                AnchorKey::Digest(digest, hint) => {
+                    if self.ordered.contains(digest) {
+                        // Already linearized via an earlier anchor.
+                        self.pending_anchors.pop_front();
+                        continue;
+                    }
+                    match self.dag.get_by_digest(digest) {
+                        Some(cert) => cert.clone(),
+                        None => {
+                            let (digest, hint) = (*digest, *hint);
+                            self.request_cert(digest, hint, ctx);
+                            return;
+                        }
+                    }
+                }
+            };
+            if anchor.round() < self.dag.first_retained_round() {
+                // The whole wave was garbage collected (we were far behind);
+                // skip it — peers committed it long ago.
+                self.pending_anchors.pop_front();
+                continue;
+            }
+            match self.dag.collect_history(&anchor, &self.ordered) {
+                Err(missing) => {
+                    for digest in missing {
+                        self.request_cert(digest, anchor.origin(), ctx);
+                    }
+                    return;
+                }
+                Ok(history) => {
+                    self.pending_anchors.pop_front();
+                    for cert in history {
+                        self.commit_block(&cert, anchor.round(), ctx);
+                    }
+                    let gc_round = anchor.round().saturating_sub(self.config.gc_depth);
+                    if gc_round > 0 {
+                        self.perform_gc(gc_round);
+                    }
+                }
+            }
+        }
+    }
+
+    fn commit_block(
+        &mut self,
+        cert: &Certificate,
+        anchor_round: Round,
+        ctx: &mut Context<NarwhalMsg<C::Ext>>,
+    ) {
+        let digest = cert.header_digest();
+        self.ordered.insert(digest);
+        self.sequence += 1;
+        let mut event = CommitEvent {
+            sequence: self.sequence,
+            round: cert.round(),
+            author: cert.origin(),
+            anchor_round,
+            payload: cert.header.payload.clone(),
+            ..Default::default()
+        };
+        if cert.origin() == self.me {
+            // Throughput/latency accounting: each batch is counted exactly
+            // once across the system — by its creator (see DESIGN.md).
+            for (batch_digest, _) in &cert.header.payload {
+                if let Some(info) = self.batch_meta.get(batch_digest) {
+                    event.tx_count += info.tx_count;
+                    event.tx_bytes += info.tx_bytes;
+                    event.samples.extend(info.samples.iter().copied());
+                    self.committed_batches.insert(*batch_digest);
+                }
+            }
+            self.own_payloads.remove(&cert.round());
+        }
+        ctx.commit(event);
+    }
+
+    /// Garbage collection (§3.3): prune the DAG and all per-round state,
+    /// re-injecting batch digests from our own uncommitted pruned blocks.
+    fn perform_gc(&mut self, gc_round: Round) {
+        let pruned = self.dag.gc(gc_round);
+        if pruned.is_empty() {
+            return;
+        }
+        for cert in &pruned {
+            let digest = cert.header_digest();
+            self.ordered.remove(&digest);
+            self.pending_headers.remove(&digest);
+            self.missing_certs.remove(&digest);
+            if cert.origin() != self.me {
+                for (batch_digest, _) in &cert.header.payload {
+                    self.stored_batches.remove(batch_digest);
+                    self.batch_meta.remove(batch_digest);
+                }
+            }
+        }
+        // Re-inject our own batches from pruned, uncommitted blocks so the
+        // transactions eventually commit (transaction-level fairness, §8.2).
+        let stale: Vec<Round> = self
+            .own_payloads
+            .range(..=gc_round)
+            .map(|(r, _)| *r)
+            .collect();
+        for round in stale {
+            if let Some(digests) = self.own_payloads.remove(&round) {
+                for digest in digests {
+                    if !self.committed_batches.contains(&digest) {
+                        if let Some(info) = self.batch_meta.get(&digest) {
+                            self.pending_digests.push_front(info.clone());
+                        }
+                    }
+                }
+            }
+        }
+        self.voted = self.voted.split_off(&(gc_round + 1));
+        // Suspended certificates below the boundary will never be needed.
+        let boundary = self.dag.first_retained_round();
+        self.suspended.retain(|_, children| {
+            children.retain(|c| c.round() >= boundary);
+            !children.is_empty()
+        });
+        self.suspended_digests = self
+            .suspended
+            .values()
+            .flatten()
+            .map(Certificate::header_digest)
+            .collect();
+        // Bound the committed-batch set: pruned own blocks are final.
+        for cert in &pruned {
+            if cert.origin() == self.me {
+                for (batch_digest, _) in &cert.header.payload {
+                    if self.committed_batches.remove(batch_digest) {
+                        self.batch_meta.remove(batch_digest);
+                        self.stored_batches.remove(batch_digest);
+                    }
+                }
+            }
+        }
+    }
+
+    fn request_cert(
+        &mut self,
+        digest: Digest,
+        hint: ValidatorId,
+        ctx: &mut Context<NarwhalMsg<C::Ext>>,
+    ) {
+        if self.dag.contains_digest(&digest) {
+            return;
+        }
+        let entry = self.missing_certs.entry(digest).or_insert(MissingCert {
+            hint,
+            attempts: 0,
+            last: ctx.now(),
+        });
+        if entry.attempts == 0 {
+            entry.attempts = 1;
+            let target = if hint == self.me {
+                ValidatorId((hint.0 + 1) % self.committee.size() as u32)
+            } else {
+                hint
+            };
+            ctx.send(
+                self.addr.primary(target),
+                NarwhalMsg::CertRequest {
+                    digests: vec![digest],
+                },
+            );
+        }
+    }
+
+    /// Re-evaluates the local round from certificate quorums: "once
+    /// certificates for round r − 1 are accumulated from 2f + 1 distinct
+    /// validators, a validator moves the local round to r" (§3.1).
+    fn advance_round(&mut self, ctx: &mut Context<NarwhalMsg<C::Ext>>) {
+        let quorum = self.committee.quorum_threshold();
+        let mut advanced = false;
+        while self.dag.round_size(self.round) >= quorum {
+            self.round += 1;
+            advanced = true;
+        }
+        if advanced {
+            self.round_entered = ctx.now();
+            // Votes for rounds we left behind are no longer needed; pending
+            // transmissions for them are dropped implicitly (sans-io).
+            self.try_propose(ctx);
+        }
+    }
+
+    fn try_propose(&mut self, ctx: &mut Context<NarwhalMsg<C::Ext>>) {
+        if self.round == 0 || self.last_proposed >= self.round {
+            return;
+        }
+        if self.dag.round_size(self.round - 1) < self.committee.quorum_threshold() {
+            return;
+        }
+        // Wait for payload, but never beyond max_header_delay: empty blocks
+        // keep the DAG and consensus advancing.
+        let deadline = self.round_entered + self.config.max_header_delay;
+        if self.pending_digests.is_empty() && ctx.now() < deadline {
+            ctx.timer(deadline - ctx.now(), TAG_PROPOSE);
+            return;
+        }
+        let parents: Vec<Digest> = self
+            .dag
+            .round_certs(self.round - 1)
+            .map(|c| c.header_digest())
+            .collect();
+        let mut payload = Vec::new();
+        let mut payload_digests = Vec::new();
+        while payload.len() < self.config.header_payload_limit {
+            match self.pending_digests.pop_front() {
+                Some(info) => {
+                    payload_digests.push(info.digest);
+                    payload.push((info.digest, info.worker));
+                }
+                None => break,
+            }
+        }
+        let coin_share = Some(CoinShare::new(&self.keypair, self.round));
+        let header = Header::new(
+            &self.keypair,
+            self.me,
+            self.round,
+            payload,
+            parents,
+            coin_share,
+        );
+        self.last_proposed = self.round;
+        self.own_payloads.insert(self.round, payload_digests);
+        // Vote for our own block.
+        let own_vote = Vote::new(
+            &self.keypair,
+            self.me,
+            header.digest(),
+            header.round,
+            self.me,
+        );
+        self.voted
+            .entry(self.round)
+            .or_default()
+            .insert(self.me, header.digest());
+        self.current_votes = vec![own_vote];
+        self.current_header = Some(header.clone());
+        for node in self.addr.other_primaries(self.me) {
+            ctx.send(node, NarwhalMsg::Header(header.clone()));
+        }
+        self.maybe_certify(ctx);
+    }
+
+    fn handle_header(&mut self, header: Header, ctx: &mut Context<NarwhalMsg<C::Ext>>) {
+        if header.round < self.dag.first_retained_round() {
+            return;
+        }
+        if header.verify(&self.committee).is_err() {
+            return;
+        }
+        let digest = header.digest();
+        if self.pending_headers.contains_key(&digest) {
+            return;
+        }
+        // Track missing dependencies: parent certificates and batch data.
+        let missing_parents: HashSet<Digest> = header
+            .parents
+            .iter()
+            .filter(|d| !self.dag.contains_digest(d))
+            .copied()
+            .collect();
+        let missing_batches: HashSet<Digest> = header
+            .payload
+            .iter()
+            .filter(|(d, _)| !self.stored_batches.contains(d))
+            .map(|(d, _)| *d)
+            .collect();
+        if missing_parents.is_empty() && missing_batches.is_empty() {
+            self.maybe_vote(header, ctx);
+            return;
+        }
+        for parent in &missing_parents {
+            self.waiting_on_parent
+                .entry(*parent)
+                .or_default()
+                .push(digest);
+            self.request_cert(*parent, header.author, ctx);
+        }
+        for (batch_digest, worker) in &header.payload {
+            if missing_batches.contains(batch_digest) {
+                self.waiting_on_batch
+                    .entry(*batch_digest)
+                    .or_default()
+                    .push(digest);
+                ctx.send(
+                    self.addr.worker(self.me, *worker),
+                    NarwhalMsg::FetchBatch {
+                        digest: *batch_digest,
+                        worker: *worker,
+                        creator: header.author,
+                    },
+                );
+            }
+        }
+        self.pending_headers.insert(
+            digest,
+            PendingHeader {
+                header,
+                missing_parents,
+                missing_batches,
+            },
+        );
+    }
+
+    /// Votes for a block whose dependencies are all satisfied, if the §3.1
+    /// validity conditions hold.
+    fn maybe_vote(&mut self, header: Header, ctx: &mut Context<NarwhalMsg<C::Ext>>) {
+        // Parents must be certified blocks of exactly the previous round.
+        for parent in &header.parents {
+            match self.dag.get_by_digest(parent) {
+                Some(cert) if cert.round() + 1 == header.round => {}
+                // Below the GC boundary: accept (we cannot check, §3.3).
+                None if header.round <= self.dag.first_retained_round() => {}
+                _ => return,
+            }
+        }
+        self.advance_round(ctx);
+        // Condition (2): the block must be at our local round — older blocks
+        // are dismissed; newer ones became current via their parents.
+        if header.round != self.round {
+            return;
+        }
+        // Condition (4): first block from this creator in this round. A
+        // re-delivery of the block we already acknowledged gets the same
+        // (deterministic) vote again — acknowledgments are idempotent, so
+        // the creator's retransmission recovers votes lost in transit.
+        let digest = header.digest();
+        match self
+            .voted
+            .entry(header.round)
+            .or_default()
+            .entry(header.author)
+        {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                if *e.get() != digest {
+                    return; // Equivocation: never sign a second block.
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(digest);
+            }
+        }
+        let vote = Vote::new(&self.keypair, self.me, digest, header.round, header.author);
+        ctx.send(self.addr.primary(header.author), NarwhalMsg::Vote(vote));
+    }
+
+    fn handle_vote(&mut self, vote: Vote, ctx: &mut Context<NarwhalMsg<C::Ext>>) {
+        let Some(current) = &self.current_header else {
+            return;
+        };
+        if vote.header_digest != current.digest() || vote.origin != self.me {
+            return;
+        }
+        if !vote.verify(&self.committee) {
+            return;
+        }
+        if self.current_votes.iter().any(|v| v.voter == vote.voter) {
+            return;
+        }
+        self.current_votes.push(vote);
+        self.maybe_certify(ctx);
+    }
+
+    fn maybe_certify(&mut self, ctx: &mut Context<NarwhalMsg<C::Ext>>) {
+        let Some(current) = self.current_header.clone() else {
+            return;
+        };
+        if self.current_votes.len() < self.committee.quorum_threshold() {
+            return;
+        }
+        let cert = Certificate::from_votes(&self.committee, current, &self.current_votes)
+            .expect("quorum of matching votes");
+        self.current_header = None;
+        self.current_votes.clear();
+        for node in self.addr.other_primaries(self.me) {
+            ctx.send(node, NarwhalMsg::Certificate(cert.clone()));
+        }
+        self.process_certificate(cert, ctx);
+    }
+
+    /// Accepts a verified certificate: inserts it if its ancestry is
+    /// locally complete, or suspends it and pulls the missing parents
+    /// (§4.1). Suspended certificates resume recursively as parents land.
+    fn process_certificate(&mut self, cert: Certificate, ctx: &mut Context<NarwhalMsg<C::Ext>>) {
+        let digest = cert.header_digest();
+        if self.dag.contains_digest(&digest) || self.suspended_digests.contains(&digest) {
+            return;
+        }
+        let missing = self.dag.missing_parents(&cert);
+        if !missing.is_empty() {
+            self.suspended_digests.insert(digest);
+            for parent in missing {
+                if !self.suspended_digests.contains(&parent) {
+                    self.request_cert(parent, cert.origin(), ctx);
+                }
+                self.suspended.entry(parent).or_default().push(cert.clone());
+            }
+            return;
+        }
+        self.insert_certificate(cert, ctx);
+        // Resume suspended descendants, cascading.
+        let mut ready = vec![digest];
+        while let Some(parent) = ready.pop() {
+            let Some(children) = self.suspended.remove(&parent) else {
+                continue;
+            };
+            for child in children {
+                let child_digest = child.header_digest();
+                if !self.suspended_digests.contains(&child_digest) {
+                    continue; // Already resumed via another parent.
+                }
+                if self.dag.missing_parents(&child).is_empty() {
+                    self.suspended_digests.remove(&child_digest);
+                    self.insert_certificate(child, ctx);
+                    ready.push(child_digest);
+                }
+            }
+        }
+    }
+
+    /// Inserts an ancestry-complete certificate into the DAG and runs all
+    /// downstream reactions (round advance, consensus, proposal).
+    fn insert_certificate(&mut self, cert: Certificate, ctx: &mut Context<NarwhalMsg<C::Ext>>) {
+        let digest = cert.header_digest();
+        match self.dag.insert(cert.clone()) {
+            InsertOutcome::BelowGc | InsertOutcome::Duplicate => return,
+            InsertOutcome::Inserted => {}
+        }
+        self.missing_certs.remove(&digest);
+        // Wake any block proposal that waited on this certificate.
+        if let Some(waiters) = self.waiting_on_parent.remove(&digest) {
+            for waiter in waiters {
+                if let Some(pending) = self.pending_headers.get_mut(&waiter) {
+                    pending.missing_parents.remove(&digest);
+                    if pending.missing_parents.is_empty() && pending.missing_batches.is_empty() {
+                        let ready = self.pending_headers.remove(&waiter).expect("present");
+                        self.maybe_vote(ready.header, ctx);
+                    }
+                }
+            }
+        }
+        self.advance_round(ctx);
+        let mut out = ConsensusOut::default();
+        self.consensus.on_certificate(&self.dag, &cert, &mut out);
+        self.apply_consensus_out(out, ctx);
+        self.try_propose(ctx);
+        self.drain_anchors(ctx);
+    }
+
+    fn handle_report(&mut self, info: BatchInfo, ctx: &mut Context<NarwhalMsg<C::Ext>>) {
+        let digest = info.digest;
+        self.stored_batches.insert(digest);
+        let own = info.creator == self.me;
+        let first = self.batch_meta.insert(digest, info.clone()).is_none();
+        if own && first {
+            self.pending_digests.push_back(info);
+            self.try_propose(ctx);
+        }
+        if let Some(waiters) = self.waiting_on_batch.remove(&digest) {
+            for waiter in waiters {
+                if let Some(pending) = self.pending_headers.get_mut(&waiter) {
+                    pending.missing_batches.remove(&digest);
+                    if pending.missing_parents.is_empty() && pending.missing_batches.is_empty() {
+                        let ready = self.pending_headers.remove(&waiter).expect("present");
+                        self.maybe_vote(ready.header, ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_retry(&mut self, ctx: &mut Context<NarwhalMsg<C::Ext>>) {
+        let now = ctx.now();
+        // Retry missing-certificate pulls against rotating targets: "the
+        // probability of receiving a correct response grows exponentially
+        // after asking a handful of validators" (§4.1).
+        let n = self.committee.size() as u32;
+        let mut requests: Vec<(ValidatorId, Digest)> = Vec::new();
+        for (digest, missing) in self.missing_certs.iter_mut() {
+            if now.saturating_sub(missing.last) >= self.config.sync_retry_delay {
+                missing.attempts += 1;
+                missing.last = now;
+                let mut target = ValidatorId((missing.hint.0 + missing.attempts) % n);
+                if target == self.me {
+                    target = ValidatorId((target.0 + 1) % n);
+                }
+                requests.push((target, *digest));
+            }
+        }
+        for (target, digest) in requests {
+            ctx.send(
+                self.addr.primary(target),
+                NarwhalMsg::CertRequest {
+                    digests: vec![digest],
+                },
+            );
+        }
+        // §4.1 retransmission: until the local round advances, keep
+        // re-sending this round's own artifacts — the un-certified block to
+        // validators whose acknowledgments are missing, or, once certified,
+        // the certificate itself (peers may have lost it and cannot advance
+        // without a quorum of certificates). Both stop implicitly when the
+        // round moves on.
+        if now.saturating_sub(self.round_entered) >= self.config.resend_delay {
+            if let Some(header) = self.current_header.clone() {
+                let voted: HashSet<ValidatorId> =
+                    self.current_votes.iter().map(|v| v.voter).collect();
+                for peer in self.committee.ids() {
+                    if peer != self.me && !voted.contains(&peer) {
+                        ctx.send(self.addr.primary(peer), NarwhalMsg::Header(header.clone()));
+                    }
+                }
+            } else if let Some(cert) = self.dag.get(self.round, self.me).cloned() {
+                for node in self.addr.other_primaries(self.me) {
+                    ctx.send(node, NarwhalMsg::Certificate(cert.clone()));
+                }
+            }
+        }
+        self.drain_anchors(ctx);
+        ctx.timer(self.config.sync_retry_delay, TAG_RETRY);
+    }
+}
+
+impl<C: DagConsensus> Actor for Primary<C> {
+    type Message = NarwhalMsg<C::Ext>;
+
+    fn on_start(&mut self, ctx: &mut Context<Self::Message>) {
+        self.dag
+            .insert_genesis(Certificate::genesis_set(&self.committee));
+        let mut out = ConsensusOut::default();
+        self.consensus.on_start(&mut out);
+        self.apply_consensus_out(out, ctx);
+        self.advance_round(ctx);
+        self.try_propose(ctx);
+        ctx.timer(self.config.sync_retry_delay, TAG_RETRY);
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Context<Self::Message>) {
+        if tag >= CONSENSUS_TAG_BASE {
+            let mut out = ConsensusOut::default();
+            self.consensus
+                .on_timer(tag - CONSENSUS_TAG_BASE, &self.dag, &mut out);
+            self.apply_consensus_out(out, ctx);
+            return;
+        }
+        match tag {
+            TAG_PROPOSE => self.try_propose(ctx),
+            TAG_RETRY => self.handle_retry(ctx),
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Context<Self::Message>) {
+        match msg {
+            NarwhalMsg::Header(header) => self.handle_header(header, ctx),
+            NarwhalMsg::Vote(vote) => self.handle_vote(vote, ctx),
+            NarwhalMsg::Certificate(cert)
+                if cert.round() >= self.dag.first_retained_round()
+                    && !self.dag.contains_digest(&cert.header_digest())
+                    && cert.verify(&self.committee).is_ok() =>
+            {
+                self.process_certificate(cert, ctx);
+            }
+            NarwhalMsg::CertRequest { digests } => {
+                let certs: Vec<Certificate> = digests
+                    .iter()
+                    .filter_map(|d| self.dag.get_by_digest(d).cloned())
+                    .collect();
+                if !certs.is_empty() {
+                    ctx.send(from, NarwhalMsg::CertResponse { certs });
+                }
+            }
+            NarwhalMsg::CertResponse { certs } => {
+                for cert in certs {
+                    if cert.round() >= self.dag.first_retained_round()
+                        && !self.dag.contains_digest(&cert.header_digest())
+                        && cert.verify(&self.committee).is_ok()
+                    {
+                        self.process_certificate(cert, ctx);
+                    }
+                }
+                self.drain_anchors(ctx);
+            }
+            NarwhalMsg::ReportBatch(info) => self.handle_report(info, ctx),
+            NarwhalMsg::Ext(ext) => {
+                if let Some(peer) = self.addr.primary_of(from) {
+                    let mut out = ConsensusOut::default();
+                    self.consensus.on_message(peer, ext, &self.dag, &mut out);
+                    self.apply_consensus_out(out, ctx);
+                }
+            }
+            // Worker-to-worker traffic is never addressed to primaries.
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consensus::{NoConsensus, NoExt};
+    use nt_crypto::Scheme;
+    use nt_network::{Effect, MS};
+    use nt_types::WorkerId;
+
+    type Msg = NarwhalMsg<NoExt>;
+
+    fn setup(
+        n: usize,
+    ) -> (
+        Committee,
+        Vec<KeyPair>,
+        AddressBook,
+        Vec<Primary<NoConsensus>>,
+    ) {
+        let (committee, kps) = Committee::deterministic(n, 1, Scheme::Insecure);
+        let addr = AddressBook::new(n, 1);
+        let primaries = (0..n)
+            .map(|v| {
+                Primary::new(
+                    committee.clone(),
+                    NarwhalConfig::default(),
+                    addr,
+                    ValidatorId(v as u32),
+                    kps[v].clone(),
+                    NoConsensus,
+                )
+            })
+            .collect();
+        (committee, kps, addr, primaries)
+    }
+
+    fn sends(effects: Vec<Effect<Msg>>) -> Vec<(NodeId, Msg)> {
+        effects
+            .into_iter()
+            .filter_map(|e| match e {
+                Effect::Send { to, msg } => Some((to, msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn report(primary: &mut Primary<NoConsensus>, seq: u64, now: Time) -> Vec<(NodeId, Msg)> {
+        report_from(primary, primary.me, seq, now)
+    }
+
+    /// Simulates the worker of `primary` reporting a stored batch created
+    /// by `creator` (workers replicate batches to all validators, §4.2).
+    fn report_from(
+        primary: &mut Primary<NoConsensus>,
+        creator: ValidatorId,
+        seq: u64,
+        now: Time,
+    ) -> Vec<(NodeId, Msg)> {
+        let info = BatchInfo {
+            digest: Digest::of(&seq.to_le_bytes()),
+            worker: WorkerId(0),
+            creator,
+            tx_count: 100,
+            tx_bytes: 51_200,
+            samples: vec![],
+        };
+        let mut ctx = Context::new(now, primary.addr.primary(primary.me));
+        primary.handle_report(info, &mut ctx);
+        sends(ctx.drain())
+    }
+
+    #[test]
+    fn starts_at_round_one_and_proposes_with_payload() {
+        let (_, _, _, mut primaries) = setup(4);
+        let mut ctx = Context::new(0, 0);
+        primaries[0].on_start(&mut ctx);
+        assert_eq!(primaries[0].round(), 1);
+        ctx.drain();
+        // A batch report triggers an immediate proposal.
+        let out = report(&mut primaries[0], 1, MS);
+        let headers: Vec<&Header> = out
+            .iter()
+            .filter_map(|(_, m)| match m {
+                NarwhalMsg::Header(h) => Some(h),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(headers.len(), 3, "header broadcast to 3 peers");
+        assert_eq!(headers[0].round, 1);
+        assert_eq!(headers[0].parents.len(), 4, "genesis parents");
+        assert_eq!(headers[0].payload.len(), 1);
+        assert!(headers[0].coin_share.is_some());
+    }
+
+    #[test]
+    fn empty_proposal_after_header_delay() {
+        let (_, _, _, mut primaries) = setup(4);
+        let mut ctx = Context::new(0, 0);
+        primaries[0].on_start(&mut ctx);
+        ctx.drain();
+        // No payload: nothing proposed until the deadline timer fires.
+        let mut ctx = Context::new(NarwhalConfig::default().max_header_delay + MS, 0);
+        primaries[0].on_timer(TAG_PROPOSE, &mut ctx);
+        let out = sends(ctx.drain());
+        let header = out
+            .iter()
+            .find_map(|(_, m)| match m {
+                NarwhalMsg::Header(h) => Some(h),
+                _ => None,
+            })
+            .expect("empty block proposed at deadline");
+        assert!(header.payload.is_empty());
+    }
+
+    /// Drives a full round across 4 in-process primaries by routing their
+    /// effects by hand; checks headers -> votes -> certificates -> round 2.
+    #[test]
+    fn full_round_certifies_and_advances() {
+        let (_, _, addr, mut primaries) = setup(4);
+        let mut queues: VecDeque<(NodeId, NodeId, Msg)> = VecDeque::new();
+        for (v, primary) in primaries.iter_mut().enumerate() {
+            let mut ctx = Context::new(0, v);
+            primary.on_start(&mut ctx);
+            for (to, msg) in sends(ctx.drain()) {
+                queues.push_back((v, to, msg));
+            }
+        }
+        // Workers replicate every batch to every validator before the
+        // digest is proposed (§4.2): report batch `v` (created by validator
+        // v) to all four primaries.
+        for v in 0..4u32 {
+            for (p, primary) in primaries.iter_mut().enumerate() {
+                for (to, msg) in report_from(primary, ValidatorId(v), v as u64, MS) {
+                    queues.push_back((p, to, msg));
+                }
+            }
+        }
+        // Route messages to a fixed point.
+        let mut hops = 0;
+        while let Some((from, to, msg)) = queues.pop_front() {
+            hops += 1;
+            assert!(hops < 10_000, "message routing must terminate");
+            if let Some(_v) = addr.primary_of(to) {
+                let mut ctx = Context::new(2 * MS, to);
+                primaries[to].on_message(from, msg, &mut ctx);
+                for (nto, nmsg) in sends(ctx.drain()) {
+                    queues.push_back((to, nto, nmsg));
+                }
+            }
+        }
+        for (v, p) in primaries.iter().enumerate() {
+            assert!(
+                p.round() >= 2,
+                "validator {v} should advance past round 1, at {}",
+                p.round()
+            );
+            assert_eq!(p.dag().round_size(1), 4, "all round-1 blocks certified");
+        }
+    }
+
+    #[test]
+    fn header_from_unknown_round_is_pended_and_synced() {
+        let (_committee, kps, _, mut primaries) = setup(4);
+        let mut ctx = Context::new(0, 0);
+        primaries[0].on_start(&mut ctx);
+        ctx.drain();
+        // A round-2 header whose parents we do not know.
+        let fake_parents: Vec<Digest> = (0..3).map(|i| Digest::of(&[i as u8, 99])).collect();
+        let header = Header::new(
+            &kps[1],
+            ValidatorId(1),
+            2,
+            vec![],
+            fake_parents.clone(),
+            None,
+        );
+        let mut ctx = Context::new(MS, 0);
+        primaries[0].handle_header(header, &mut ctx);
+        let out = sends(ctx.drain());
+        // No vote; sync requests for the parents instead.
+        assert!(out.iter().all(|(_, m)| !matches!(m, NarwhalMsg::Vote(_))));
+        let requested: usize = out
+            .iter()
+            .filter(|(_, m)| matches!(m, NarwhalMsg::CertRequest { .. }))
+            .count();
+        assert!(requested >= 1, "parents are pulled");
+    }
+
+    #[test]
+    fn votes_only_once_per_creator_round() {
+        let (committee, kps, _, mut primaries) = setup(4);
+        let mut ctx = Context::new(0, 0);
+        primaries[0].on_start(&mut ctx);
+        ctx.drain();
+        let parents: Vec<Digest> = Certificate::genesis_set(&committee)
+            .iter()
+            .map(Certificate::header_digest)
+            .collect();
+        let h1 = Header::new(&kps[1], ValidatorId(1), 1, vec![], parents.clone(), None);
+        let mut ctx = Context::new(MS, 0);
+        primaries[0].handle_header(h1, &mut ctx);
+        let votes1 = sends(ctx.drain())
+            .iter()
+            .filter(|(_, m)| matches!(m, NarwhalMsg::Vote(_)))
+            .count();
+        assert_eq!(votes1, 1);
+        // An equivocating second block from the same creator and round.
+        let h2 = Header::new(
+            &kps[1],
+            ValidatorId(1),
+            1,
+            vec![(Digest::of(b"x"), WorkerId(0))],
+            parents,
+            None,
+        );
+        let mut ctx = Context::new(2 * MS, 0);
+        primaries[0].handle_header(h2, &mut ctx);
+        let out = sends(ctx.drain());
+        assert!(
+            out.iter().all(|(_, m)| !matches!(m, NarwhalMsg::Vote(_))),
+            "second block from the same creator in the same round is not signed"
+        );
+    }
+
+    #[test]
+    fn header_with_unavailable_batches_is_not_voted_until_fetched() {
+        let (committee, kps, addr, mut primaries) = setup(4);
+        let mut ctx = Context::new(0, 0);
+        primaries[0].on_start(&mut ctx);
+        ctx.drain();
+        let parents: Vec<Digest> = Certificate::genesis_set(&committee)
+            .iter()
+            .map(Certificate::header_digest)
+            .collect();
+        let batch_digest = Digest::of(b"some batch");
+        let header = Header::new(
+            &kps[1],
+            ValidatorId(1),
+            1,
+            vec![(batch_digest, WorkerId(0))],
+            parents,
+            None,
+        );
+        let mut ctx = Context::new(MS, 0);
+        primaries[0].handle_header(header, &mut ctx);
+        let out = sends(ctx.drain());
+        assert!(out.iter().all(|(_, m)| !matches!(m, NarwhalMsg::Vote(_))));
+        let fetch = out
+            .iter()
+            .find(|(to, m)| {
+                *to == addr.worker(ValidatorId(0), WorkerId(0))
+                    && matches!(m, NarwhalMsg::FetchBatch { .. })
+            })
+            .is_some();
+        assert!(fetch, "primary instructs its worker to fetch the batch");
+
+        // Once the worker reports the batch, the vote goes out.
+        let info = BatchInfo {
+            digest: batch_digest,
+            worker: WorkerId(0),
+            creator: ValidatorId(1),
+            tx_count: 10,
+            tx_bytes: 5_120,
+            samples: vec![],
+        };
+        let mut ctx = Context::new(2 * MS, 0);
+        primaries[0].handle_report(info, &mut ctx);
+        let out = sends(ctx.drain());
+        assert!(
+            out.iter()
+                .any(|(to, m)| *to == addr.primary(ValidatorId(1))
+                    && matches!(m, NarwhalMsg::Vote(_))),
+            "vote sent after availability is established"
+        );
+    }
+
+    #[test]
+    fn serves_cert_requests_from_dag() {
+        let (committee, _, _, mut primaries) = setup(4);
+        let mut ctx = Context::new(0, 0);
+        primaries[0].on_start(&mut ctx);
+        ctx.drain();
+        let genesis_digest = Certificate::genesis(ValidatorId(2)).header_digest();
+        let mut ctx = Context::new(MS, 0);
+        primaries[0].on_message(
+            1,
+            NarwhalMsg::CertRequest {
+                digests: vec![genesis_digest, Digest::of(b"unknown")],
+            },
+            &mut ctx,
+        );
+        let out = sends(ctx.drain());
+        assert_eq!(out.len(), 1);
+        match &out[0].1 {
+            NarwhalMsg::CertResponse { certs } => {
+                assert_eq!(certs.len(), 1);
+                assert_eq!(certs[0].header_digest(), genesis_digest);
+            }
+            other => panic!("expected response, got {other:?}"),
+        }
+        let _ = committee;
+    }
+}

@@ -1,0 +1,181 @@
+//! Property tests for the DAG invariants of §2.1:
+//!
+//! - **Containment**: a `read_causal` (history) of any block inside a
+//!   history set is a subset of that set.
+//! - **2/3-Causality**: an anchor's history contains at least 2/3 of the
+//!   blocks written before it.
+//! - **1/2-Chain Quality**: at least half the blocks in a returned history
+//!   were written by honest parties (here: all parties are honest, so the
+//!   property is exercised via the quorum structure — every round
+//!   contributes at least `2f+1` of `3f+1` blocks).
+//! - Insertion-order independence: the DAG's query results do not depend on
+//!   the order certificates arrived.
+
+use narwhal::Dag;
+use nt_crypto::{Digest, Hashable, KeyPair, Scheme};
+use nt_types::{Certificate, Committee, Header, Round, ValidatorId, Vote};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Builds a randomized DAG: every block references a random 2f+1-subset of
+/// the previous round. Returns all certificates (genesis first).
+fn random_dag(
+    n: usize,
+    rounds: Round,
+    edge_choices: &[u8],
+) -> (Committee, Vec<Certificate>) {
+    let (committee, kps) = Committee::deterministic(n, 1, Scheme::Insecure);
+    let quorum = committee.quorum_threshold();
+    let mut all: Vec<Certificate> = Certificate::genesis_set(&committee);
+    let mut prev: Vec<Digest> = all.iter().map(Certificate::header_digest).collect();
+    let mut choice_idx = 0usize;
+    for r in 1..=rounds {
+        let mut next = Vec::new();
+        let mut certs_this_round = Vec::new();
+        for (i, kp) in kps.iter().enumerate() {
+            // Pseudo-random parent subset driven by the proptest input.
+            let mut parents: Vec<Digest> = prev.clone();
+            while parents.len() > quorum {
+                let pick = edge_choices
+                    .get(choice_idx)
+                    .copied()
+                    .unwrap_or(0) as usize
+                    % parents.len();
+                choice_idx += 1;
+                parents.remove(pick);
+            }
+            let header = Header::new(kp, ValidatorId(i as u32), r, vec![], parents, None);
+            let votes: Vec<Vote> = kps
+                .iter()
+                .enumerate()
+                .map(|(j, vkp)| {
+                    Vote::new(vkp, ValidatorId(j as u32), header.digest(), r, header.author)
+                })
+                .collect();
+            let cert = Certificate::from_votes(&committee, header, &votes).expect("quorum");
+            next.push(cert.header_digest());
+            certs_this_round.push(cert);
+        }
+        all.extend(certs_this_round);
+        prev = next;
+    }
+    (committee, all)
+}
+
+fn build(certs: &[Certificate]) -> Dag {
+    let mut dag = Dag::new();
+    for cert in certs {
+        dag.insert(cert.clone());
+    }
+    dag
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn containment_holds(
+        edges in proptest::collection::vec(any::<u8>(), 256),
+        anchor_author in 0u32..4,
+    ) {
+        let (_, certs) = random_dag(4, 6, &edges);
+        let dag = build(&certs);
+        let anchor = dag.get(6, ValidatorId(anchor_author)).unwrap().clone();
+        let history: HashSet<Digest> = dag
+            .collect_history(&anchor, &HashSet::new())
+            .unwrap()
+            .iter()
+            .map(Certificate::header_digest)
+            .collect();
+        // Containment: for every block in the history, its own history is a
+        // subset (§2.1).
+        for digest in &history {
+            let cert = dag.get_by_digest(digest).unwrap().clone();
+            let inner: HashSet<Digest> = dag
+                .collect_history(&cert, &HashSet::new())
+                .unwrap()
+                .iter()
+                .map(Certificate::header_digest)
+                .collect();
+            prop_assert!(inner.is_subset(&history), "containment violated");
+        }
+    }
+
+    #[test]
+    fn two_thirds_causality_holds(
+        edges in proptest::collection::vec(any::<u8>(), 256),
+        anchor_author in 0u32..4,
+    ) {
+        let rounds = 6u64;
+        let (committee, certs) = random_dag(4, rounds, &edges);
+        let dag = build(&certs);
+        let anchor = dag.get(rounds, ValidatorId(anchor_author)).unwrap().clone();
+        let history = dag.collect_history(&anchor, &HashSet::new()).unwrap();
+        // Blocks written strictly before the anchor's round.
+        let written_before = (committee.size() as u64) * rounds; // rounds 0..rounds-1... genesis + 1..rounds-1
+        let in_history_before = history
+            .iter()
+            .filter(|c| c.round() < anchor.round())
+            .count() as u64;
+        // 2/3-Causality (§2.1): the history holds at least 2/3 of the
+        // blocks written before the anchor.
+        prop_assert!(
+            3 * in_history_before >= 2 * written_before,
+            "{in_history_before} of {written_before} prior blocks in history"
+        );
+    }
+
+    #[test]
+    fn chain_quality_quorum_structure(
+        edges in proptest::collection::vec(any::<u8>(), 256),
+    ) {
+        let (committee, certs) = random_dag(4, 6, &edges);
+        let dag = build(&certs);
+        let anchor = dag.get(6, ValidatorId(0)).unwrap().clone();
+        let history = dag.collect_history(&anchor, &HashSet::new()).unwrap();
+        // Every full round in the history contributes >= 2f+1 of 3f+1
+        // blocks, so any f Byzantine authors own at most f/(2f+1) < 1/2 of
+        // each round's contribution (1/2-Chain Quality, Lemma A.3).
+        for r in 1..6u64 {
+            let round_blocks = history.iter().filter(|c| c.round() == r).count();
+            prop_assert!(
+                round_blocks >= committee.quorum_threshold(),
+                "round {r} contributes only {round_blocks}"
+            );
+        }
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter(
+        edges in proptest::collection::vec(any::<u8>(), 256),
+        shuffle_seed in any::<u64>(),
+    ) {
+        let (_, certs) = random_dag(4, 5, &edges);
+        let dag_a = build(&certs);
+        // A deterministic pseudo-shuffle of the insertion order.
+        let mut shuffled = certs.clone();
+        let mut state = shuffle_seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let dag_b = build(&shuffled);
+        prop_assert_eq!(dag_a.len(), dag_b.len());
+        let anchor_a = dag_a.get(5, ValidatorId(1)).unwrap();
+        let anchor_b = dag_b.get(5, ValidatorId(1)).unwrap().clone();
+        let hist_a: Vec<Digest> = dag_a
+            .collect_history(anchor_a, &HashSet::new())
+            .unwrap()
+            .iter()
+            .map(Certificate::header_digest)
+            .collect();
+        let hist_b: Vec<Digest> = dag_b
+            .collect_history(&anchor_b, &HashSet::new())
+            .unwrap()
+            .iter()
+            .map(Certificate::header_digest)
+            .collect();
+        prop_assert_eq!(hist_a, hist_b, "linearization is order-independent");
+    }
+}

@@ -1,0 +1,118 @@
+//! Content-addressed digests.
+//!
+//! Narwhal identifies every block, batch and certificate by the SHA-256
+//! digest of its canonical encoding (§2.1 of the paper: "The unique
+//! (cryptographic) digest of its contents is used as its identifier").
+
+use crate::sha2::{sha256, Sha256};
+use std::fmt;
+
+/// Length in bytes of a [`Digest`].
+pub const DIGEST_LEN: usize = 32;
+
+/// A 32-byte SHA-256 digest identifying a block, batch, or certificate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Digest(pub [u8; DIGEST_LEN]);
+
+impl Digest {
+    /// Hashes `data` with SHA-256.
+    pub fn of(data: &[u8]) -> Self {
+        Digest(sha256(data))
+    }
+
+    /// Hashes the concatenation of several byte strings.
+    ///
+    /// Each part is length-prefixed so that the combined digest is not
+    /// ambiguous under re-chunking (e.g. `("ab", "c")` differs from
+    /// `("a", "bc")`).
+    pub fn of_parts(parts: &[&[u8]]) -> Self {
+        let mut h = Sha256::new();
+        for part in parts {
+            h.update(&(part.len() as u64).to_le_bytes());
+            h.update(part);
+        }
+        Digest(h.finalize())
+    }
+
+    /// Returns the raw bytes.
+    pub fn as_bytes(&self) -> &[u8; DIGEST_LEN] {
+        &self.0
+    }
+
+    /// Interprets the first 8 bytes as a little-endian `u64`.
+    ///
+    /// Used to derive pseudo-random values (e.g. the coin output) from a
+    /// digest.
+    pub fn to_u64(&self) -> u64 {
+        u64::from_le_bytes(self.0[..8].try_into().expect("digest has 32 bytes"))
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Print the first 8 hex chars, like git short hashes.
+        for b in &self.0[..4] {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; DIGEST_LEN]> for Digest {
+    fn from(bytes: [u8; DIGEST_LEN]) -> Self {
+        Digest(bytes)
+    }
+}
+
+/// Types with a canonical content digest.
+pub trait Hashable {
+    /// Returns the digest of the canonical encoding of `self`.
+    fn digest(&self) -> Digest;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_parts_is_not_ambiguous() {
+        let a = Digest::of_parts(&[b"ab", b"c"]);
+        let b = Digest::of_parts(&[b"a", b"bc"]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn of_matches_sha256() {
+        assert_eq!(Digest::of(b"abc").0, sha256(b"abc"));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let d = Digest::of(b"abc");
+        assert_eq!(
+            d.to_string(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn to_u64_is_stable() {
+        let d = Digest([1u8; 32]);
+        assert_eq!(d.to_u64(), u64::from_le_bytes([1; 8]));
+    }
+}

@@ -1,0 +1,338 @@
+//! Arithmetic in the field GF(2^255 - 19).
+//!
+//! Field elements are represented as four little-endian `u64` limbs holding a
+//! value in `[0, 2^256)`. The representation is *loosely reduced*: values are
+//! kept below `2^256` (which is `< 2p + 38`) and fully reduced modulo
+//! `p = 2^255 - 19` only when serializing. Multiplication folds the 512-bit
+//! product using the identity `2^256 ≡ 38 (mod p)`.
+//!
+//! This module favours clarity over constant-time guarantees; the repository
+//! is a research reproduction, not a hardened crypto library.
+
+// Inherent `add`/`mul`/... are deliberate: operator traits would hide the
+// modular semantics, and call sites read better fully qualified.
+#![allow(clippy::should_implement_trait)]
+/// A field element modulo `p = 2^255 - 19`, four little-endian u64 limbs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Fe(pub [u64; 4]);
+
+/// The prime `p = 2^255 - 19` as limbs.
+const P: [u64; 4] = [
+    0xffff_ffff_ffff_ffed,
+    0xffff_ffff_ffff_ffff,
+    0xffff_ffff_ffff_ffff,
+    0x7fff_ffff_ffff_ffff,
+];
+
+impl Fe {
+    /// The additive identity.
+    pub const ZERO: Fe = Fe([0, 0, 0, 0]);
+    /// The multiplicative identity.
+    pub const ONE: Fe = Fe([1, 0, 0, 0]);
+
+    /// The curve constant `d = -121665/121666 mod p`.
+    pub fn d() -> Fe {
+        // 37095705934669439343138083508754565189542113879843219016388785533085940283555
+        Fe::from_bytes(&[
+            0xa3, 0x78, 0x59, 0x13, 0xca, 0x4d, 0xeb, 0x75, 0xab, 0xd8, 0x41, 0x41, 0x4d, 0x0a,
+            0x70, 0x00, 0x98, 0xe8, 0x79, 0x77, 0x79, 0x40, 0xc7, 0x8c, 0x73, 0xfe, 0x6f, 0x2b,
+            0xee, 0x6c, 0x03, 0x52,
+        ])
+    }
+
+    /// `sqrt(-1) mod p`, used during point decompression.
+    pub fn sqrt_m1() -> Fe {
+        // 19681161376707505956807079304988542015446066515923890162744021073123829784752
+        Fe::from_bytes(&[
+            0xb0, 0xa0, 0x0e, 0x4a, 0x27, 0x1b, 0xee, 0xc4, 0x78, 0xe4, 0x2f, 0xad, 0x06, 0x18,
+            0x43, 0x2f, 0xa7, 0xd7, 0xfb, 0x3d, 0x99, 0x00, 0x4d, 0x2b, 0x0b, 0xdf, 0xc1, 0x4f,
+            0x80, 0x24, 0x83, 0x2b,
+        ])
+    }
+
+    /// Parses 32 little-endian bytes, masking the top bit (per RFC 8032).
+    pub fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            *limb = u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        }
+        limbs[3] &= 0x7fff_ffff_ffff_ffff;
+        Fe(limbs)
+    }
+
+    /// Serializes to 32 little-endian bytes with full reduction modulo `p`.
+    pub fn to_bytes(self) -> [u8; 32] {
+        let limbs = self.reduced().0;
+        let mut out = [0u8; 32];
+        for (i, limb) in limbs.iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        out
+    }
+
+    /// Returns the fully reduced representative in `[0, p)`.
+    pub fn reduced(self) -> Fe {
+        let mut v = self.0;
+        // The loose representation is < 2^256 < 2p + 38, so at most two
+        // conditional subtractions of p are needed... plus one more for the
+        // +38 fringe. Loop until no subtraction applies (at most 3 times).
+        loop {
+            if !geq(&v, &P) {
+                break;
+            }
+            v = sub_limbs(&v, &P);
+        }
+        Fe(v)
+    }
+
+    /// Field addition.
+    pub fn add(self, rhs: Fe) -> Fe {
+        let (mut v, carry) = add_limbs(&self.0, &rhs.0);
+        if carry {
+            // 2^256 ≡ 38 (mod p).
+            let (w, carry2) = add_limbs(&v, &[38, 0, 0, 0]);
+            debug_assert!(!carry2);
+            v = w;
+        }
+        Fe(v)
+    }
+
+    /// Field subtraction.
+    pub fn sub(self, rhs: Fe) -> Fe {
+        let (mut v, mut borrow) = sub_borrow(&self.0, &rhs.0);
+        while borrow {
+            // Wrapping below zero subtracted 2^256 ≡ 38 too much... rather,
+            // the wrapped value is `true + 2^256`, so subtract 38 to
+            // compensate.
+            let (w, b) = sub_borrow(&v, &[38, 0, 0, 0]);
+            v = w;
+            borrow = b;
+        }
+        Fe(v)
+    }
+
+    /// Field negation.
+    pub fn neg(self) -> Fe {
+        Fe::ZERO.sub(self)
+    }
+
+    /// Field multiplication.
+    pub fn mul(self, rhs: Fe) -> Fe {
+        fold512(&mul_wide(&self.0, &rhs.0))
+    }
+
+    /// Field squaring.
+    pub fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    /// Raises `self` to the power encoded by `exp` (32 little-endian bytes).
+    pub fn pow(self, exp: &[u8; 32]) -> Fe {
+        let mut result = Fe::ONE;
+        // Process bits from most significant to least significant.
+        for byte in exp.iter().rev() {
+            for bit in (0..8).rev() {
+                result = result.square();
+                if (byte >> bit) & 1 == 1 {
+                    result = result.mul(self);
+                }
+            }
+        }
+        result
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem (`a^(p-2)`).
+    ///
+    /// Returns zero for zero input.
+    pub fn invert(self) -> Fe {
+        // p - 2 = 2^255 - 21.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xeb;
+        exp[31] = 0x7f;
+        self.pow(&exp)
+    }
+
+    /// Raises to `(p-5)/8`, the exponent used in square-root extraction.
+    pub fn pow_p58(self) -> Fe {
+        // (p - 5) / 8 = (2^255 - 24) / 8 = 2^252 - 3.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xfd;
+        exp[31] = 0x0f;
+        self.pow(&exp)
+    }
+
+    /// True if the fully reduced value is zero.
+    pub fn is_zero(self) -> bool {
+        self.reduced().0 == [0, 0, 0, 0]
+    }
+
+    /// True if the fully reduced value is "negative" (odd) per RFC 8032.
+    pub fn is_negative(self) -> bool {
+        self.reduced().0[0] & 1 == 1
+    }
+}
+
+/// Schoolbook 4x4 -> 8 limb multiprecision multiply.
+///
+/// Row-by-row accumulation: each step computes
+/// `out[i+j] + a[i] * b[j] + carry`, whose maximum value is exactly
+/// `u128::MAX`, so no intermediate overflows.
+pub(crate) fn mul_wide(a: &[u64; 4], b: &[u64; 4]) -> [u64; 8] {
+    let mut out = [0u64; 8];
+    for i in 0..4 {
+        let mut carry: u128 = 0;
+        for j in 0..4 {
+            let v = out[i + j] as u128 + a[i] as u128 * b[j] as u128 + carry;
+            out[i + j] = v as u64;
+            carry = v >> 64;
+        }
+        // `out[i + 4]` has not been written yet for this row.
+        out[i + 4] = carry as u64;
+    }
+    out
+}
+
+/// Folds an 8-limb (512-bit) value modulo `p` using `2^256 ≡ 38`.
+fn fold512(limbs: &[u64; 8]) -> Fe {
+    let lo = [limbs[0], limbs[1], limbs[2], limbs[3]];
+    let hi = [limbs[4], limbs[5], limbs[6], limbs[7]];
+    // acc = lo + hi * 38; hi * 38 fits in 5 limbs.
+    let mut acc = [0u128; 5];
+    for i in 0..4 {
+        acc[i] += lo[i] as u128 + hi[i] as u128 * 38;
+    }
+    let mut out = [0u64; 4];
+    let mut carry: u128 = 0;
+    for i in 0..4 {
+        let v = acc[i] + carry;
+        out[i] = v as u64;
+        carry = v >> 64;
+    }
+    // carry <= 38; fold once more. If that addition itself overflows 2^256,
+    // the wrapped value is short by 2^256 ≡ 38, so compensate a final time
+    // (the result is then tiny, so no further cascade is possible).
+    let (folded, overflow) = add_limbs(&out, &[(carry as u64) * 38, 0, 0, 0]);
+    out = folded;
+    if overflow {
+        let (folded2, overflow2) = add_limbs(&out, &[38, 0, 0, 0]);
+        debug_assert!(!overflow2);
+        out = folded2;
+    }
+    Fe(out)
+}
+
+fn add_limbs(a: &[u64; 4], b: &[u64; 4]) -> ([u64; 4], bool) {
+    let mut out = [0u64; 4];
+    let mut carry = false;
+    for i in 0..4 {
+        let (v1, c1) = a[i].overflowing_add(b[i]);
+        let (v2, c2) = v1.overflowing_add(carry as u64);
+        out[i] = v2;
+        carry = c1 || c2;
+    }
+    (out, carry)
+}
+
+fn sub_borrow(a: &[u64; 4], b: &[u64; 4]) -> ([u64; 4], bool) {
+    let mut out = [0u64; 4];
+    let mut borrow = false;
+    for i in 0..4 {
+        let (v1, b1) = a[i].overflowing_sub(b[i]);
+        let (v2, b2) = v1.overflowing_sub(borrow as u64);
+        out[i] = v2;
+        borrow = b1 || b2;
+    }
+    (out, borrow)
+}
+
+fn sub_limbs(a: &[u64; 4], b: &[u64; 4]) -> [u64; 4] {
+    let (out, borrow) = sub_borrow(a, b);
+    debug_assert!(!borrow);
+    out
+}
+
+fn geq(a: &[u64; 4], b: &[u64; 4]) -> bool {
+    for i in (0..4).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(n: u64) -> Fe {
+        Fe([n, 0, 0, 0])
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = fe(123456789);
+        let b = fe(987654321);
+        assert_eq!(a.add(b).sub(b).reduced(), a.reduced());
+    }
+
+    #[test]
+    fn mul_small() {
+        assert_eq!(fe(6).mul(fe(7)).reduced(), fe(42));
+    }
+
+    #[test]
+    fn neg_cancels() {
+        let a = fe(55);
+        assert!(a.add(a.neg()).is_zero());
+    }
+
+    #[test]
+    fn p_reduces_to_zero() {
+        assert!(Fe(P).is_zero());
+    }
+
+    #[test]
+    fn invert_small() {
+        let a = fe(12345);
+        assert_eq!(a.mul(a.invert()).reduced(), Fe::ONE);
+    }
+
+    #[test]
+    fn invert_zero_is_zero() {
+        assert!(Fe::ZERO.invert().is_zero());
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        let i = Fe::sqrt_m1();
+        let minus_one = Fe::ZERO.sub(Fe::ONE);
+        assert_eq!(i.square().reduced(), minus_one.reduced());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let a = fe(0xdead_beef_1234_5678);
+        assert_eq!(Fe::from_bytes(&a.to_bytes()).reduced(), a.reduced());
+    }
+
+    #[test]
+    fn mul_commutes_and_distributes() {
+        let a = Fe([1, 2, 3, 4]);
+        let b = Fe([5, 6, 7, 0x0fff_ffff_ffff_ffff]);
+        let c = Fe([9, 10, 11, 12]);
+        assert_eq!(a.mul(b).reduced(), b.mul(a).reduced());
+        assert_eq!(a.mul(b.add(c)).reduced(), a.mul(b).add(a.mul(c)).reduced());
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let a = fe(3);
+        let mut exp = [0u8; 32];
+        exp[0] = 10; // a^10
+        let mut expect = Fe::ONE;
+        for _ in 0..10 {
+            expect = expect.mul(a);
+        }
+        assert_eq!(a.pow(&exp).reduced(), expect.reduced());
+    }
+}

@@ -1,0 +1,209 @@
+//! Arithmetic modulo the Ed25519 group order
+//! `l = 2^252 + 27742317777372353535851937790883648493`.
+//!
+//! Scalars are four little-endian `u64` limbs, always fully reduced modulo
+//! `l`. Reduction of wide (512-bit) values uses bitwise long division, which
+//! is slow but simple and obviously correct; signing performance is dominated
+//! by scalar multiplication anyway.
+
+// Inherent `add`/`mul`/... are deliberate: operator traits would hide the
+// modular semantics, and call sites read better fully qualified.
+#![allow(clippy::should_implement_trait)]
+/// The group order `l` as little-endian limbs.
+pub const L: [u64; 4] = [
+    0x5812_631a_5cf5_d3ed,
+    0x14de_f9de_a2f7_9cd6,
+    0x0000_0000_0000_0000,
+    0x1000_0000_0000_0000,
+];
+
+/// A scalar modulo the Ed25519 group order, fully reduced.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Scalar(pub [u64; 4]);
+
+impl Scalar {
+    /// The zero scalar.
+    pub const ZERO: Scalar = Scalar([0, 0, 0, 0]);
+
+    /// Parses 32 little-endian bytes and reduces modulo `l`.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Scalar {
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(bytes);
+        Scalar::from_bytes_wide(&wide)
+    }
+
+    /// Parses 32 little-endian bytes, returning `None` if not canonical
+    /// (i.e. not already `< l`). RFC 8032 requires rejecting non-canonical
+    /// `s` components during verification.
+    pub fn from_canonical_bytes(bytes: &[u8; 32]) -> Option<Scalar> {
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            *limb = u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        }
+        if geq256(&limbs, &L) {
+            None
+        } else {
+            Some(Scalar(limbs))
+        }
+    }
+
+    /// Reduces a 64-byte little-endian value modulo `l` (as used for the
+    /// SHA-512 outputs in EdDSA).
+    pub fn from_bytes_wide(bytes: &[u8; 64]) -> Scalar {
+        let mut limbs = [0u64; 8];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            *limb = u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        }
+        Scalar(mod_l_512(&limbs))
+    }
+
+    /// Serializes to 32 little-endian bytes.
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, limb) in self.0.iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        out
+    }
+
+    /// Addition modulo `l`.
+    pub fn add(self, rhs: Scalar) -> Scalar {
+        let mut out = [0u64; 4];
+        let mut carry = 0u64;
+        for (i, slot) in out.iter_mut().enumerate() {
+            let v = self.0[i] as u128 + rhs.0[i] as u128 + carry as u128;
+            *slot = v as u64;
+            carry = (v >> 64) as u64;
+        }
+        // Both inputs < l < 2^253, so the sum fits in 256 bits (no carry) and
+        // a single conditional subtraction reduces it.
+        debug_assert_eq!(carry, 0);
+        if geq256(&out, &L) {
+            out = sub256(&out, &L);
+        }
+        Scalar(out)
+    }
+
+    /// Multiplication modulo `l`.
+    pub fn mul(self, rhs: Scalar) -> Scalar {
+        // Row-by-row schoolbook multiply; each step fits u128 exactly.
+        let mut t = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let v = t[i + j] as u128 + self.0[i] as u128 * rhs.0[j] as u128 + carry;
+                t[i + j] = v as u64;
+                carry = v >> 64;
+            }
+            t[i + 4] = carry as u64;
+        }
+        Scalar(mod_l_512(&t))
+    }
+
+    /// Computes `self * b + c mod l` (the EdDSA response equation).
+    pub fn mul_add(self, b: Scalar, c: Scalar) -> Scalar {
+        self.mul(b).add(c)
+    }
+}
+
+/// Reduces a 512-bit little-endian limb value modulo `l` by long division.
+fn mod_l_512(limbs: &[u64; 8]) -> [u64; 4] {
+    let mut r = [0u64; 4];
+    // Process bits MSB-first: r = (r << 1 | bit) mod l.
+    for bit_index in (0..512).rev() {
+        // Shift r left by one (r < l < 2^253, so no overflow).
+        let mut carry = 0u64;
+        for limb in r.iter_mut() {
+            let new_carry = *limb >> 63;
+            *limb = (*limb << 1) | carry;
+            carry = new_carry;
+        }
+        debug_assert_eq!(carry, 0);
+        let bit = (limbs[bit_index / 64] >> (bit_index % 64)) & 1;
+        r[0] |= bit;
+        if geq256(&r, &L) {
+            r = sub256(&r, &L);
+        }
+    }
+    r
+}
+
+fn geq256(a: &[u64; 4], b: &[u64; 4]) -> bool {
+    for i in (0..4).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+fn sub256(a: &[u64; 4], b: &[u64; 4]) -> [u64; 4] {
+    let mut out = [0u64; 4];
+    let mut borrow = false;
+    for i in 0..4 {
+        let (v1, b1) = a[i].overflowing_sub(b[i]);
+        let (v2, b2) = v1.overflowing_sub(borrow as u64);
+        out[i] = v2;
+        borrow = b1 || b2;
+    }
+    debug_assert!(!borrow);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sc(n: u64) -> Scalar {
+        Scalar([n, 0, 0, 0])
+    }
+
+    #[test]
+    fn l_reduces_to_zero() {
+        let mut wide = [0u8; 64];
+        let mut l_bytes = [0u8; 32];
+        for (i, limb) in L.iter().enumerate() {
+            l_bytes[i * 8..i * 8 + 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        wide[..32].copy_from_slice(&l_bytes);
+        assert_eq!(Scalar::from_bytes_wide(&wide), Scalar::ZERO);
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        assert_eq!(sc(3).mul(sc(4)), sc(12));
+        assert_eq!(sc(3).add(sc(4)), sc(7));
+        assert_eq!(sc(5).mul_add(sc(6), sc(7)), sc(37));
+    }
+
+    #[test]
+    fn add_wraps_mod_l() {
+        // (l - 1) + 2 == 1 (mod l).
+        let l_minus_1 = Scalar(sub256(&L, &[1, 0, 0, 0]));
+        assert_eq!(l_minus_1.add(sc(2)), sc(1));
+    }
+
+    #[test]
+    fn canonical_rejects_l() {
+        let mut l_bytes = [0u8; 32];
+        for (i, limb) in L.iter().enumerate() {
+            l_bytes[i * 8..i * 8 + 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        assert!(Scalar::from_canonical_bytes(&l_bytes).is_none());
+        let one = sc(1).to_bytes();
+        assert_eq!(Scalar::from_canonical_bytes(&one), Some(sc(1)));
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let a = Scalar([0x1234, 0x5678, 0x9abc, 0x0def]);
+        assert_eq!(Scalar::from_bytes(&a.to_bytes()), a);
+    }
+
+    #[test]
+    fn mul_commutes() {
+        let a = Scalar([7, 8, 9, 0x0fff_ffff]);
+        let b = Scalar([3, 1, 4, 0x0101_0101]);
+        assert_eq!(a.mul(b), b.mul(a));
+    }
+}

@@ -1,0 +1,30 @@
+//! From-scratch cryptography for the Narwhal/Tusk reproduction.
+//!
+//! The paper's implementation uses `ed25519-dalek` for signatures and SHA-2
+//! style digests throughout (block digests, batch digests, certificates).
+//! This crate implements the same primitives from first principles:
+//!
+//! - [`sha2`]: SHA-256 and SHA-512 (FIPS 180-4), validated against the
+//!   standard test vectors.
+//! - [`ed25519`]: Ed25519 signatures per RFC 8032 over a from-scratch
+//!   Curve25519 field/scalar/point implementation, validated against the
+//!   RFC 8032 test vectors.
+//! - [`keys`]: key pairs and a pluggable signature scheme. The simulator can
+//!   swap the real scheme for a fast hash-based one (`Scheme::Insecure`)
+//!   while accounting for the real scheme's CPU cost, which is how the
+//!   discrete-event benchmarks reach paper-scale throughput.
+//! - [`coin`]: the threshold random coin Tusk uses to elect wave leaders
+//!   (§5 of the paper). See `DESIGN.md` for the substitution of the paper's
+//!   BLS threshold signature by a hash-based share scheme.
+
+pub mod codec_impls;
+pub mod coin;
+pub mod digest;
+pub mod ed25519;
+pub mod keys;
+pub mod sha2;
+
+pub use coin::{combine_shares, CoinShare};
+pub use digest::{Digest, Hashable, DIGEST_LEN};
+pub use keys::{KeyPair, PublicKey, Scheme, SecretKey, Signature};
+pub use sha2::{sha256, sha512, Sha256, Sha512};

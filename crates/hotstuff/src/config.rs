@@ -1,0 +1,62 @@
+//! HotStuff parameters.
+
+use nt_network::{Time, MS, SEC};
+
+/// Tunable HotStuff parameters.
+#[derive(Clone, Debug)]
+pub struct HsConfig {
+    /// Base view timeout before broadcasting a `Timeout` message.
+    pub view_timeout: Time,
+    /// Cap on exponential timeout backoff.
+    pub max_timeout: Time,
+    /// Maximum proposal payload in bytes (paper: 500 KB max block size).
+    pub max_block_bytes: usize,
+    /// Maximum batch digests per proposal (Batched-HS). Bounds catch-up
+    /// after stalls, which is what makes Batched-HS fragile under faults.
+    pub max_digests_per_block: usize,
+    /// Transaction size in bytes (512 B in the paper).
+    pub tx_bytes: usize,
+    /// Target batch size for Batched-HS dissemination.
+    pub batch_bytes: usize,
+    /// Synthetic client rate per validator (tx/s), if load-generating.
+    pub rate_per_validator: f64,
+    /// Gossip/batching tick.
+    pub tick: Time,
+    /// Latency samples embedded per generated burst/batch.
+    pub samples_per_batch: usize,
+}
+
+impl Default for HsConfig {
+    fn default() -> Self {
+        HsConfig {
+            view_timeout: 5 * SEC,
+            max_timeout: 40 * SEC,
+            max_block_bytes: 500_000,
+            max_digests_per_block: 64,
+            tx_bytes: 512,
+            batch_bytes: 500_000,
+            rate_per_validator: 0.0,
+            tick: 100 * MS,
+            samples_per_batch: 4,
+        }
+    }
+}
+
+impl HsConfig {
+    /// Max transactions per proposal (Baseline-HS).
+    pub fn max_txs_per_block(&self) -> u64 {
+        (self.max_block_bytes / self.tx_bytes).max(1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = HsConfig::default();
+        assert_eq!(c.max_block_bytes, 500_000);
+        assert_eq!(c.max_txs_per_block(), 976);
+    }
+}

@@ -1,0 +1,289 @@
+//! A threaded in-process runtime that drives actors with real time.
+//!
+//! Each node runs on its own OS thread with a crossbeam channel inbox. Sends
+//! between nodes are channel pushes (reliable, in-order — the same
+//! guarantees the paper gets from TCP); timers use `recv_timeout` against a
+//! per-node deadline heap. Commit events from all nodes stream to a single
+//! collector channel the caller can drain.
+//!
+//! This runtime exists so the examples and integration tests exercise the
+//! *real* code path: real threads, real queues, real Ed25519 signatures and
+//! real stores — everything but real WAN links.
+
+use crate::actor::{Actor, Context, Effect, NodeId, Time, CLIENT};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use nt_types::CommitEvent;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+enum Input<M> {
+    Net { from: NodeId, msg: M },
+    Stop,
+}
+
+/// Handle to a running local deployment.
+pub struct LocalHandle<M> {
+    inboxes: Vec<Sender<Input<M>>>,
+    commits: Receiver<(NodeId, CommitEvent)>,
+    client_mail: Receiver<(NodeId, M)>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl<M: Send + 'static> LocalHandle<M> {
+    /// Injects a client message into `node`.
+    pub fn client_send(&self, node: NodeId, msg: M) {
+        // A full inbox or stopped node is a test-harness bug; surface it.
+        self.inboxes[node]
+            .send(Input::Net { from: CLIENT, msg })
+            .expect("node inbox closed");
+    }
+
+    /// Receives the next commit event, waiting up to `timeout`.
+    pub fn next_commit(&self, timeout: Duration) -> Option<(NodeId, CommitEvent)> {
+        self.commits.recv_timeout(timeout).ok()
+    }
+
+    /// Receives the next message a node addressed to [`CLIENT`] — e.g. a
+    /// batch-data response for an external execution engine (§8.4).
+    pub fn client_recv(&self, timeout: Duration) -> Option<(NodeId, M)> {
+        self.client_mail.recv_timeout(timeout).ok()
+    }
+
+    /// Drains commits until `deadline` elapses with no new events.
+    pub fn drain_commits(&self, quiet: Duration) -> Vec<(NodeId, CommitEvent)> {
+        let mut out = Vec::new();
+        while let Some(ev) = self.next_commit(quiet) {
+            out.push(ev);
+        }
+        out
+    }
+
+    /// Stops all nodes and joins their threads.
+    pub fn shutdown(self) {
+        for inbox in &self.inboxes {
+            let _ = inbox.send(Input::Stop);
+        }
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Builder/launcher for local deployments.
+pub struct LocalRuntime;
+
+impl LocalRuntime {
+    /// Spawns one thread per actor and starts them.
+    ///
+    /// `actors[i]` becomes node `i`. Messages to unknown nodes are dropped
+    /// (like UDP to a dead host); messages between live nodes are reliable
+    /// and FIFO per pair (like TCP).
+    pub fn spawn<M, A>(actors: Vec<A>) -> LocalHandle<M>
+    where
+        M: Clone + Send + 'static,
+        A: Actor<Message = M> + 'static,
+    {
+        let n = actors.len();
+        let (commit_tx, commit_rx) = unbounded();
+        let (client_tx, client_rx) = unbounded();
+        let mut inbox_txs = Vec::with_capacity(n);
+        let mut inbox_rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Bounded inboxes provide backpressure between nodes.
+            let (tx, rx) = bounded(65536);
+            inbox_txs.push(tx);
+            inbox_rxs.push(rx);
+        }
+
+        let start = Instant::now();
+        let mut threads = Vec::with_capacity(n);
+        for (node, (mut actor, inbox)) in actors.into_iter().zip(inbox_rxs).enumerate() {
+            let peers: Vec<Sender<Input<M>>> = inbox_txs.clone();
+            let commits = commit_tx.clone();
+            let client = client_tx.clone();
+            threads.push(std::thread::spawn(move || {
+                node_loop(node, &mut actor, inbox, peers, commits, client, start);
+            }));
+        }
+
+        LocalHandle {
+            inboxes: inbox_txs,
+            commits: commit_rx,
+            client_mail: client_rx,
+            threads,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn node_loop<M, A>(
+    node: NodeId,
+    actor: &mut A,
+    inbox: Receiver<Input<M>>,
+    peers: Vec<Sender<Input<M>>>,
+    commits: Sender<(NodeId, CommitEvent)>,
+    client: Sender<(NodeId, M)>,
+    start: Instant,
+) where
+    M: Clone + Send + 'static,
+    A: Actor<Message = M>,
+{
+    // Deadline heap of (fire_at, tag).
+    let mut timers: BinaryHeap<Reverse<(Time, u64)>> = BinaryHeap::new();
+    let now_ns = |start: Instant| -> Time { start.elapsed().as_nanos() as Time };
+
+    let mut ctx = Context::new(now_ns(start), node);
+    actor.on_start(&mut ctx);
+    apply_effects(
+        node,
+        ctx.drain(),
+        &peers,
+        &commits,
+        &client,
+        &mut timers,
+        now_ns(start),
+    );
+
+    loop {
+        // Fire due timers.
+        let now = now_ns(start);
+        while let Some(Reverse((at, tag))) = timers.peek().copied() {
+            if at > now {
+                break;
+            }
+            timers.pop();
+            let mut ctx = Context::new(now, node);
+            actor.on_timer(tag, &mut ctx);
+            apply_effects(node, ctx.drain(), &peers, &commits, &client, &mut timers, now);
+        }
+
+        // Wait for the next message or timer deadline.
+        let wait = timers
+            .peek()
+            .map(|Reverse((at, _))| Duration::from_nanos(at.saturating_sub(now_ns(start))))
+            .unwrap_or(Duration::from_millis(50));
+
+        match inbox.recv_timeout(wait) {
+            Ok(Input::Net { from, msg }) => {
+                let now = now_ns(start);
+                let mut ctx = Context::new(now, node);
+                actor.on_message(from, msg, &mut ctx);
+                apply_effects(node, ctx.drain(), &peers, &commits, &client, &mut timers, now);
+            }
+            Ok(Input::Stop) => return,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn apply_effects<M: Clone + Send>(
+    node: NodeId,
+    effects: Vec<Effect<M>>,
+    peers: &[Sender<Input<M>>],
+    commits: &Sender<(NodeId, CommitEvent)>,
+    client: &Sender<(NodeId, M)>,
+    timers: &mut BinaryHeap<Reverse<(Time, u64)>>,
+    now: Time,
+) {
+    for effect in effects {
+        match effect {
+            Effect::Send { to, msg } => {
+                if to == CLIENT {
+                    // Replies to the external client (e.g. batch data for
+                    // an execution engine) land in the client mailbox.
+                    let _ = client.send((node, msg));
+                } else if let Some(tx) = peers.get(to) {
+                    // A closed peer behaves like a crashed host: drop.
+                    let _ = tx.send(Input::Net { from: node, msg });
+                }
+            }
+            Effect::Timer { delay, tag } => {
+                timers.push(Reverse((now + delay, tag)));
+            }
+            Effect::Commit(ev) => {
+                let _ = commits.send((node, ev));
+            }
+            Effect::Cpu { .. } => {
+                // Real CPU time is really spent on this runtime.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A ring: node i forwards counter to (i+1) % n until it reaches 100,
+    /// then commits.
+    struct Ring {
+        n: usize,
+    }
+
+    impl Actor for Ring {
+        type Message = u64;
+
+        fn on_message(&mut self, _from: NodeId, msg: u64, ctx: &mut Context<u64>) {
+            if msg >= 100 {
+                ctx.commit(CommitEvent {
+                    tx_count: msg,
+                    ..Default::default()
+                });
+            } else {
+                ctx.send((ctx.node() + 1) % self.n, msg + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_passes_messages() {
+        let handle = LocalRuntime::spawn((0..4).map(|_| Ring { n: 4 }).collect());
+        handle.client_send(0, 0);
+        let (_, ev) = handle
+            .next_commit(Duration::from_secs(5))
+            .expect("commit arrives");
+        assert_eq!(ev.tx_count, 100);
+        handle.shutdown();
+    }
+
+    /// An actor that re-arms a timer 3 times then commits.
+    struct Ticker {
+        fired: u64,
+    }
+
+    impl Actor for Ticker {
+        type Message = ();
+
+        fn on_start(&mut self, ctx: &mut Context<()>) {
+            ctx.timer(1_000_000, 1); // 1 ms
+        }
+
+        fn on_timer(&mut self, tag: u64, ctx: &mut Context<()>) {
+            assert_eq!(tag, 1);
+            self.fired += 1;
+            if self.fired == 3 {
+                ctx.commit(CommitEvent {
+                    tx_count: self.fired,
+                    ..Default::default()
+                });
+            } else {
+                ctx.timer(1_000_000, 1);
+            }
+        }
+
+        fn on_message(&mut self, _: NodeId, _: (), _: &mut Context<()>) {}
+    }
+
+    #[test]
+    fn timers_fire_and_rearm() {
+        let handle = LocalRuntime::spawn(vec![Ticker { fired: 0 }]);
+        let (_, ev) = handle
+            .next_commit(Duration::from_secs(5))
+            .expect("ticker commits");
+        assert_eq!(ev.tx_count, 3);
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,647 @@
+//! The discrete-event simulation core.
+//!
+//! Execution model, per message from `A` to `B`:
+//!
+//! 1. **Send** (at actor-execution time `t`): `A`'s CPU is charged the send
+//!    cost; the message then occupies `A`'s egress NIC for its
+//!    serialization time (broadcasts serialize one after another — this is
+//!    why a leader pushing a large block to `n-1` peers is slow, §3.2).
+//! 2. **Propagation**: the link adds the sampled region-to-region delay.
+//!    Delivery per (sender, receiver) pair is FIFO, like TCP.
+//! 3. **Arrival**: the message occupies `B`'s ingress NIC (incast queues
+//!    form here), then `B`'s CPU for the receive + verification cost, and
+//!    only then does the actor's `on_message` run.
+//!
+//! Crashed hosts neither send nor receive. Partitions drop messages between
+//! two host groups during an interval. Optional uniform loss exercises the
+//! retransmission paths. All randomness comes from one seeded RNG: runs are
+//! bit-for-bit reproducible.
+
+use crate::cost::{CostModel, SimMessage};
+use crate::topology::Topology;
+use nt_network::{Actor, Context, Effect, NodeId, Time};
+use nt_types::CommitEvent;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A network partition between two host groups over a time interval.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// One side of the partition.
+    pub group_a: Vec<NodeId>,
+    /// The other side.
+    pub group_b: Vec<NodeId>,
+    /// Partition start (inclusive).
+    pub from: Time,
+    /// Partition end (exclusive).
+    pub until: Time,
+}
+
+impl Partition {
+    /// True if a message from `a` to `b` sent at `t` crosses the partition.
+    fn blocks(&self, a: NodeId, b: NodeId, t: Time) -> bool {
+        if t < self.from || t >= self.until {
+            return false;
+        }
+        (self.group_a.contains(&a) && self.group_b.contains(&b))
+            || (self.group_b.contains(&a) && self.group_a.contains(&b))
+    }
+}
+
+/// Simulation parameters.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// CPU cost constants.
+    pub cost: CostModel,
+    /// RNG seed; same seed ⇒ identical run.
+    pub seed: u64,
+    /// Simulated duration in nanoseconds; events beyond it are discarded.
+    pub duration: Time,
+    /// `(node, time)` crash schedule.
+    pub crashes: Vec<(NodeId, Time)>,
+    /// Link partitions.
+    pub partitions: Vec<Partition>,
+    /// Uniform message loss probability in `[0, 1)`.
+    pub loss: f64,
+}
+
+impl SimConfig {
+    /// A config with the default cost model and no faults.
+    pub fn new(seed: u64, duration: Time) -> Self {
+        SimConfig {
+            cost: CostModel::default(),
+            seed,
+            duration,
+            crashes: Vec::new(),
+            partitions: Vec::new(),
+            loss: 0.0,
+        }
+    }
+}
+
+/// What a simulation run produced.
+#[derive(Debug)]
+pub struct SimResult {
+    /// Every commit event: `(simulated time, node, event)`.
+    pub commits: Vec<(Time, NodeId, CommitEvent)>,
+    /// Messages delivered to actors.
+    pub delivered: u64,
+    /// Messages dropped (loss, partitions, crashes).
+    pub dropped: u64,
+    /// Time of the last processed event.
+    pub end_time: Time,
+}
+
+enum EventKind<M> {
+    /// Run the actor's `on_start`.
+    Start { node: NodeId },
+    /// The message finished link propagation and reaches `to`'s ingress.
+    Arrive { to: NodeId, from: NodeId, msg: M },
+    /// The receiver's CPU finished processing; run `on_message`.
+    ExecMsg { node: NodeId, from: NodeId, msg: M },
+    /// A timer fires.
+    Fire { node: NodeId, tag: u64 },
+}
+
+struct Event<M> {
+    time: Time,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+struct HostState {
+    egress_free: Time,
+    ingress_free: Time,
+    cpu_free: Time,
+    crashed_at: Option<Time>,
+}
+
+/// A configured simulation ready to run.
+pub struct Simulation<M: SimMessage> {
+    topology: Topology,
+    config: SimConfig,
+    actors: Vec<Box<dyn Actor<Message = M>>>,
+}
+
+impl<M: SimMessage> Simulation<M> {
+    /// Builds a simulation; `actors[i]` runs on `topology.hosts[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the actor and host counts differ.
+    pub fn new(
+        topology: Topology,
+        config: SimConfig,
+        actors: Vec<Box<dyn Actor<Message = M>>>,
+    ) -> Self {
+        assert_eq!(topology.len(), actors.len(), "one actor per topology host");
+        Simulation {
+            topology,
+            config,
+            actors,
+        }
+    }
+
+    /// Runs to completion and returns the results.
+    pub fn run(mut self) -> SimResult {
+        let n = self.actors.len();
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let mut queue: BinaryHeap<Reverse<Event<M>>> = BinaryHeap::new();
+        let mut seq: u64 = 0;
+        let mut hosts: Vec<HostState> = (0..n)
+            .map(|i| HostState {
+                egress_free: 0,
+                ingress_free: 0,
+                cpu_free: 0,
+                crashed_at: self
+                    .config
+                    .crashes
+                    .iter()
+                    .find(|(node, _)| *node == i)
+                    .map(|(_, t)| *t),
+            })
+            .collect();
+        // FIFO clamp per (from, to) pair, emulating TCP ordering.
+        let mut last_arrival: HashMap<(NodeId, NodeId), Time> = HashMap::new();
+
+        let mut commits = Vec::new();
+        let mut delivered: u64 = 0;
+        let mut dropped: u64 = 0;
+        let mut end_time: Time = 0;
+
+        for node in 0..n {
+            queue.push(Reverse(Event {
+                time: 0,
+                seq,
+                kind: EventKind::Start { node },
+            }));
+            seq += 1;
+        }
+
+        while let Some(Reverse(event)) = queue.pop() {
+            let now = event.time;
+            if now > self.config.duration {
+                break;
+            }
+            end_time = now;
+            let crashed = |hosts: &Vec<HostState>, node: NodeId, t: Time| -> bool {
+                hosts[node].crashed_at.is_some_and(|c| t >= c)
+            };
+
+            match event.kind {
+                EventKind::Start { node } => {
+                    if crashed(&hosts, node, now) {
+                        continue;
+                    }
+                    let mut ctx = Context::new(now, node);
+                    self.actors[node].on_start(&mut ctx);
+                    self.apply_effects(
+                        node,
+                        ctx.drain(),
+                        now,
+                        &mut hosts,
+                        &mut queue,
+                        &mut seq,
+                        &mut rng,
+                        &mut last_arrival,
+                        &mut commits,
+                        &mut dropped,
+                    );
+                }
+                EventKind::Arrive { to, from, msg } => {
+                    if crashed(&hosts, to, now) {
+                        dropped += 1;
+                        continue;
+                    }
+                    // Ingress NIC serialization.
+                    let size = msg.wire_size();
+                    let nic = self.topology.nic_time(to, size);
+                    let ingress_start = now.max(hosts[to].ingress_free);
+                    let ingress_end = ingress_start + nic;
+                    hosts[to].ingress_free = ingress_end;
+                    // CPU service.
+                    let scale = self.topology.hosts[to].cpu_scale;
+                    let cost =
+                        (self.config.cost.recv(size, msg.verify_count()) as f64 * scale) as u64;
+                    let exec_start = ingress_end.max(hosts[to].cpu_free);
+                    let exec_end = exec_start + cost;
+                    hosts[to].cpu_free = exec_end;
+                    queue.push(Reverse(Event {
+                        time: exec_end,
+                        seq,
+                        kind: EventKind::ExecMsg {
+                            node: to,
+                            from,
+                            msg,
+                        },
+                    }));
+                    seq += 1;
+                }
+                EventKind::ExecMsg { node, from, msg } => {
+                    if crashed(&hosts, node, now) {
+                        dropped += 1;
+                        continue;
+                    }
+                    delivered += 1;
+                    let mut ctx = Context::new(now, node);
+                    self.actors[node].on_message(from, msg, &mut ctx);
+                    self.apply_effects(
+                        node,
+                        ctx.drain(),
+                        now,
+                        &mut hosts,
+                        &mut queue,
+                        &mut seq,
+                        &mut rng,
+                        &mut last_arrival,
+                        &mut commits,
+                        &mut dropped,
+                    );
+                }
+                EventKind::Fire { node, tag } => {
+                    if crashed(&hosts, node, now) {
+                        continue;
+                    }
+                    let mut ctx = Context::new(now, node);
+                    self.actors[node].on_timer(tag, &mut ctx);
+                    self.apply_effects(
+                        node,
+                        ctx.drain(),
+                        now,
+                        &mut hosts,
+                        &mut queue,
+                        &mut seq,
+                        &mut rng,
+                        &mut last_arrival,
+                        &mut commits,
+                        &mut dropped,
+                    );
+                }
+            }
+        }
+
+        SimResult {
+            commits,
+            delivered,
+            dropped,
+            end_time,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply_effects(
+        &mut self,
+        node: NodeId,
+        effects: Vec<Effect<M>>,
+        now: Time,
+        hosts: &mut [HostState],
+        queue: &mut BinaryHeap<Reverse<Event<M>>>,
+        seq: &mut u64,
+        rng: &mut SmallRng,
+        last_arrival: &mut HashMap<(NodeId, NodeId), Time>,
+        commits: &mut Vec<(Time, NodeId, CommitEvent)>,
+        dropped: &mut u64,
+    ) {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => {
+                    if to >= hosts.len() {
+                        *dropped += 1;
+                        continue;
+                    }
+                    // Loss and partitions are decided at send time.
+                    if self.config.loss > 0.0 && rng.random::<f64>() < self.config.loss {
+                        *dropped += 1;
+                        continue;
+                    }
+                    if self
+                        .config
+                        .partitions
+                        .iter()
+                        .any(|p| p.blocks(node, to, now))
+                    {
+                        *dropped += 1;
+                        continue;
+                    }
+                    let size = msg.wire_size();
+                    // Sender CPU: serialization + signing.
+                    let scale = self.topology.hosts[node].cpu_scale;
+                    let send_cpu = ((self.config.cost.send(size)
+                        + msg.sign_count() as u64 * self.config.cost.sign_ns)
+                        as f64
+                        * scale) as u64;
+                    hosts[node].cpu_free = hosts[node].cpu_free.max(now) + send_cpu;
+                    // Egress NIC: broadcasts serialize.
+                    let nic = self.topology.nic_time(node, size);
+                    let ser_start = now.max(hosts[node].egress_free);
+                    let ser_end = ser_start + nic;
+                    hosts[node].egress_free = ser_end;
+                    // Link propagation + per-pair FIFO clamp.
+                    let latency = self.topology.latency(node, to, rng);
+                    let mut arrival = ser_end + latency;
+                    let clamp = last_arrival.entry((node, to)).or_insert(0);
+                    if arrival <= *clamp {
+                        arrival = *clamp + 1;
+                    }
+                    *clamp = arrival;
+                    queue.push(Reverse(Event {
+                        time: arrival,
+                        seq: *seq,
+                        kind: EventKind::Arrive {
+                            to,
+                            from: node,
+                            msg,
+                        },
+                    }));
+                    *seq += 1;
+                }
+                Effect::Timer { delay, tag } => {
+                    let at = now + delay;
+                    if at <= self.config.duration {
+                        queue.push(Reverse(Event {
+                            time: at,
+                            seq: *seq,
+                            kind: EventKind::Fire { node, tag },
+                        }));
+                        *seq += 1;
+                    }
+                }
+                Effect::Commit(ev) => {
+                    commits.push((now, node, ev));
+                }
+                Effect::Cpu { nanos } => {
+                    let scale = self.topology.hosts[node].cpu_scale;
+                    hosts[node].cpu_free =
+                        hosts[node].cpu_free.max(now) + (nanos as f64 * scale) as u64;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{HostSpec, Region};
+    use nt_network::{MS, SEC};
+
+    #[derive(Clone)]
+    struct Ping {
+        payload: usize,
+    }
+
+    impl SimMessage for Ping {
+        fn wire_size(&self) -> usize {
+            self.payload
+        }
+    }
+
+    /// Node 0 pings node 1 on start; node 1 echoes; node 0 commits with the
+    /// round-trip time in `tx_count` (as milliseconds).
+    struct PingActor {
+        peer: NodeId,
+        initiator: bool,
+        sent_at: Time,
+    }
+
+    impl Actor for PingActor {
+        type Message = Ping;
+
+        fn on_start(&mut self, ctx: &mut Context<Ping>) {
+            if self.initiator {
+                self.sent_at = ctx.now();
+                ctx.send(self.peer, Ping { payload: 100 });
+            }
+        }
+
+        fn on_message(&mut self, from: NodeId, msg: Ping, ctx: &mut Context<Ping>) {
+            if self.initiator {
+                let rtt_ms = (ctx.now() - self.sent_at) / MS;
+                ctx.commit(CommitEvent {
+                    tx_count: rtt_ms,
+                    ..Default::default()
+                });
+            } else {
+                ctx.send(from, msg);
+            }
+        }
+    }
+
+    fn two_hosts(r1: Region, r2: Region) -> Topology {
+        Topology::new(vec![HostSpec::new(0, r1), HostSpec::new(1, r2)])
+    }
+
+    fn ping_actors() -> Vec<Box<dyn Actor<Message = Ping>>> {
+        vec![
+            Box::new(PingActor {
+                peer: 1,
+                initiator: true,
+                sent_at: 0,
+            }),
+            Box::new(PingActor {
+                peer: 0,
+                initiator: false,
+                sent_at: 0,
+            }),
+        ]
+    }
+
+    #[test]
+    fn rtt_reflects_topology() {
+        let sim = Simulation::new(
+            two_hosts(Region::UsEast1, Region::ApSoutheast2),
+            SimConfig::new(7, 10 * SEC),
+            ping_actors(),
+        );
+        let result = sim.run();
+        assert_eq!(result.commits.len(), 1);
+        let rtt_ms = result.commits[0].2.tx_count;
+        // ~200 ms RTT to Sydney +/- jitter and processing.
+        assert!((150..=260).contains(&rtt_ms), "rtt = {rtt_ms} ms");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let run = |seed| {
+            let sim = Simulation::new(
+                two_hosts(Region::UsEast1, Region::EuNorth1),
+                SimConfig::new(seed, 10 * SEC),
+                ping_actors(),
+            );
+            let r = sim.run();
+            (r.commits[0].0, r.delivered)
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).0, run(43).0, "different seeds jitter differently");
+    }
+
+    #[test]
+    fn crashed_node_stops_responding() {
+        let mut config = SimConfig::new(1, 10 * SEC);
+        config.crashes.push((1, 0));
+        let sim = Simulation::new(
+            two_hosts(Region::UsEast1, Region::UsWest1),
+            config,
+            ping_actors(),
+        );
+        let result = sim.run();
+        assert!(result.commits.is_empty(), "no echo from a crashed peer");
+        assert!(result.dropped >= 1);
+    }
+
+    #[test]
+    fn partition_blocks_messages() {
+        let mut config = SimConfig::new(1, 10 * SEC);
+        config.partitions.push(Partition {
+            group_a: vec![0],
+            group_b: vec![1],
+            from: 0,
+            until: 20 * SEC,
+        });
+        let sim = Simulation::new(
+            two_hosts(Region::UsEast1, Region::UsWest1),
+            config,
+            ping_actors(),
+        );
+        let result = sim.run();
+        assert!(result.commits.is_empty());
+    }
+
+    #[test]
+    fn loss_drops_messages() {
+        let mut config = SimConfig::new(1, 10 * SEC);
+        config.loss = 1.0;
+        let sim = Simulation::new(
+            two_hosts(Region::UsEast1, Region::UsWest1),
+            config,
+            ping_actors(),
+        );
+        let result = sim.run();
+        assert!(result.commits.is_empty());
+        assert_eq!(result.delivered, 0);
+    }
+
+    /// A sender that floods large messages; checks NIC serialization
+    /// spreads arrivals over time (bandwidth limit).
+    struct Flooder {
+        count: usize,
+    }
+
+    #[derive(Default)]
+    struct Sink {
+        first: Option<Time>,
+    }
+
+    impl Actor for Flooder {
+        type Message = Ping;
+        fn on_start(&mut self, ctx: &mut Context<Ping>) {
+            for _ in 0..self.count {
+                // 1.25 MB messages: 1 ms each on a 10 Gbps NIC.
+                ctx.send(1, Ping { payload: 1_250_000 });
+            }
+        }
+        fn on_message(&mut self, _: NodeId, _: Ping, _: &mut Context<Ping>) {}
+    }
+
+    impl Actor for Sink {
+        type Message = Ping;
+        fn on_message(&mut self, _: NodeId, _: Ping, ctx: &mut Context<Ping>) {
+            let first = *self.first.get_or_insert(ctx.now());
+            ctx.commit(CommitEvent {
+                tx_count: (ctx.now() - first) / MS,
+                ..Default::default()
+            });
+        }
+    }
+
+    #[test]
+    fn cpu_saturation_queues_processing() {
+        // Messages carrying heavy verification load serialize on the
+        // receiver's CPU: 20 messages x 5 signature verifications at
+        // ~110 us each = ~11 ms of CPU, so arrivals spread over >= that.
+        #[derive(Clone)]
+        struct Heavy;
+        impl SimMessage for Heavy {
+            fn wire_size(&self) -> usize {
+                100
+            }
+            fn verify_count(&self) -> usize {
+                5
+            }
+        }
+        struct Burst;
+        #[derive(Default)]
+        struct HeavySink {
+            first: Option<Time>,
+        }
+        impl Actor for Burst {
+            type Message = Heavy;
+            fn on_start(&mut self, ctx: &mut Context<Heavy>) {
+                for _ in 0..20 {
+                    ctx.send(1, Heavy);
+                }
+            }
+            fn on_message(&mut self, _: NodeId, _: Heavy, _: &mut Context<Heavy>) {}
+        }
+        impl Actor for HeavySink {
+            type Message = Heavy;
+            fn on_message(&mut self, _: NodeId, _: Heavy, ctx: &mut Context<Heavy>) {
+                let first = *self.first.get_or_insert(ctx.now());
+                ctx.commit(CommitEvent {
+                    tx_count: (ctx.now() - first) / nt_network::US,
+                    ..Default::default()
+                });
+            }
+        }
+        let sim = Simulation::new(
+            two_hosts(Region::UsEast1, Region::UsEast1),
+            SimConfig::new(5, 10 * SEC),
+            vec![
+                Box::new(Burst) as Box<dyn Actor<Message = Heavy>>,
+                Box::new(HeavySink::default()),
+            ],
+        );
+        let result = sim.run();
+        assert_eq!(result.commits.len(), 20);
+        let spread_us = result.commits.last().unwrap().2.tx_count;
+        // 19 queued messages x ~570 us CPU each ~= 10.8 ms minimum spread.
+        assert!(spread_us >= 9_000, "spread = {spread_us} us");
+    }
+
+    #[test]
+    fn bandwidth_serializes_egress() {
+        let sim = Simulation::new(
+            two_hosts(Region::UsEast1, Region::UsEast1),
+            SimConfig::new(3, 30 * SEC),
+            vec![
+                Box::new(Flooder { count: 100 }) as Box<dyn Actor<Message = Ping>>,
+                Box::new(Sink::default()),
+            ],
+        );
+        let result = sim.run();
+        assert_eq!(result.commits.len(), 100);
+        let spread_ms = result.commits.last().unwrap().2.tx_count;
+        // 100 x 1.25 MB at 10 Gbps = 100 ms of pure serialization; ingress
+        // doubles it at most. It must NOT all arrive at once.
+        assert!(spread_ms >= 80, "spread = {spread_ms} ms");
+    }
+}

@@ -1,0 +1,401 @@
+//! A crash-recoverable key-value store backed by a write-ahead log.
+//!
+//! Record format (all integers little-endian):
+//!
+//! ```text
+//! +-------+--------+--------+----------------+------------------+
+//! | crc32 | klen   | vlen   | key (klen)     | value (vlen)     |
+//! | u32   | u32    | u32    | bytes          | bytes            |
+//! +-------+--------+--------+----------------+------------------+
+//! ```
+//!
+//! A `vlen` of `u32::MAX` marks a tombstone (deletion). The CRC covers
+//! `klen || vlen || key || value`. On open, the log is replayed into an
+//! in-memory index; a torn tail (truncated or checksum-failing record) is
+//! detected, the log is truncated to the last good record, and recovery
+//! proceeds — mirroring how RocksDB handles a crash mid-write.
+
+use crate::{crc32, Store, StoreError};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const TOMBSTONE: u32 = u32::MAX;
+
+struct Inner {
+    index: BTreeMap<Vec<u8>, Vec<u8>>,
+    writer: BufWriter<File>,
+    /// Bytes of live records; used to decide when compaction pays off.
+    live_bytes: u64,
+    /// Total log bytes written.
+    total_bytes: u64,
+    sync_writes: bool,
+}
+
+/// A WAL-backed persistent store.
+pub struct WalStore {
+    path: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+impl WalStore {
+    /// Opens (or creates) the store at `path`, replaying any existing log.
+    ///
+    /// If the tail of the log is torn (a crash happened mid-append), the bad
+    /// tail is discarded and the store opens with every complete record.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_with(path, false)
+    }
+
+    /// Opens with `fsync` after every write (slower, stronger durability).
+    pub fn open_durable(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_with(path, true)
+    }
+
+    fn open_with(path: impl AsRef<Path>, sync_writes: bool) -> Result<Self, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let mut index = BTreeMap::new();
+        let mut good_end: u64 = 0;
+        let mut live_bytes: u64 = 0;
+
+        if path.exists() {
+            let mut file = File::open(&path)?;
+            let mut data = Vec::new();
+            file.read_to_end(&mut data)?;
+            let mut pos: usize = 0;
+            while pos < data.len() {
+                match read_record(&data[pos..]) {
+                    Some((key, value, len)) => {
+                        match value {
+                            Some(v) => {
+                                live_bytes += (key.len() + v.len()) as u64;
+                                index.insert(key, v);
+                            }
+                            None => {
+                                if let Some(old) = index.remove(&key) {
+                                    live_bytes =
+                                        live_bytes.saturating_sub((key.len() + old.len()) as u64);
+                                }
+                            }
+                        }
+                        pos += len;
+                        good_end = pos as u64;
+                    }
+                    None => break, // Torn tail: stop at the last good record.
+                }
+            }
+            if (good_end as usize) < data.len() {
+                // Truncate the torn tail so future appends start clean.
+                let file = OpenOptions::new().write(true).open(&path)?;
+                file.set_len(good_end)?;
+            }
+        }
+
+        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(WalStore {
+            path,
+            inner: Mutex::new(Inner {
+                index,
+                writer: BufWriter::new(file),
+                live_bytes,
+                total_bytes: good_end,
+                sync_writes,
+            }),
+        })
+    }
+
+    /// Rewrites the log keeping only live entries, reclaiming space from
+    /// overwrites and tombstones. Returns the new log size in bytes.
+    pub fn compact(&self) -> Result<u64, StoreError> {
+        let mut inner = self.inner.lock();
+        let tmp_path = self.path.with_extension("compact");
+        {
+            let tmp = File::create(&tmp_path)?;
+            let mut w = BufWriter::new(tmp);
+            for (key, value) in &inner.index {
+                w.write_all(&encode_record(key, Some(value)))?;
+            }
+            w.flush()?;
+            w.get_ref().sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+        let mut file = OpenOptions::new().append(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        let size = file.metadata()?.len();
+        inner.writer = BufWriter::new(file);
+        inner.total_bytes = size;
+        inner.live_bytes = inner
+            .index
+            .iter()
+            .map(|(k, v)| (k.len() + v.len()) as u64)
+            .sum();
+        Ok(size)
+    }
+
+    /// Current log file size in bytes (including dead records).
+    pub fn log_bytes(&self) -> u64 {
+        self.inner.lock().total_bytes
+    }
+
+    /// Flushes buffered writes to the OS (and disk if opened durable).
+    pub fn flush(&self) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock();
+        inner.writer.flush()?;
+        if inner.sync_writes {
+            inner.writer.get_ref().sync_all()?;
+        }
+        Ok(())
+    }
+
+    fn append(&self, key: &[u8], value: Option<&[u8]>) -> Result<(), StoreError> {
+        let record = encode_record(key, value);
+        let mut inner = self.inner.lock();
+        inner.writer.write_all(&record)?;
+        inner.writer.flush()?;
+        if inner.sync_writes {
+            inner.writer.get_ref().sync_all()?;
+        }
+        inner.total_bytes += record.len() as u64;
+        match value {
+            Some(v) => {
+                if let Some(old) = inner.index.insert(key.to_vec(), v.to_vec()) {
+                    inner.live_bytes =
+                        inner.live_bytes.saturating_sub(old.len() as u64) + v.len() as u64;
+                } else {
+                    inner.live_bytes += (key.len() + v.len()) as u64;
+                }
+            }
+            None => {
+                if let Some(old) = inner.index.remove(key) {
+                    inner.live_bytes = inner
+                        .live_bytes
+                        .saturating_sub((key.len() + old.len()) as u64);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Store for WalStore {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        self.append(key, Some(value))
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        Ok(self.inner.lock().index.get(key).cloned())
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<(), StoreError> {
+        self.append(key, None)
+    }
+
+    fn keys_with_prefix(&self, prefix: &[u8]) -> Result<Vec<Vec<u8>>, StoreError> {
+        let inner = self.inner.lock();
+        Ok(inner
+            .index
+            .range(prefix.to_vec()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect())
+    }
+
+    fn len(&self) -> Result<usize, StoreError> {
+        Ok(self.inner.lock().index.len())
+    }
+}
+
+fn encode_record(key: &[u8], value: Option<&[u8]>) -> Vec<u8> {
+    let vlen = value.map_or(TOMBSTONE, |v| v.len() as u32);
+    let klen = key.len() as u32;
+    let body_len = 8 + key.len() + value.map_or(0, <[u8]>::len);
+    let mut body = Vec::with_capacity(body_len);
+    body.extend_from_slice(&klen.to_le_bytes());
+    body.extend_from_slice(&vlen.to_le_bytes());
+    body.extend_from_slice(key);
+    if let Some(v) = value {
+        body.extend_from_slice(v);
+    }
+    let mut record = Vec::with_capacity(4 + body.len());
+    record.extend_from_slice(&crc32(&body).to_le_bytes());
+    record.extend_from_slice(&body);
+    record
+}
+
+/// Parses one record from `data`. Returns `(key, value, record_len)`;
+/// `None` if the data is truncated or the checksum fails.
+#[allow(clippy::type_complexity)]
+fn read_record(data: &[u8]) -> Option<(Vec<u8>, Option<Vec<u8>>, usize)> {
+    if data.len() < 12 {
+        return None;
+    }
+    let stored_crc = u32::from_le_bytes(data[0..4].try_into().expect("4 bytes"));
+    let klen = u32::from_le_bytes(data[4..8].try_into().expect("4 bytes")) as usize;
+    let vlen_raw = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes"));
+    let vlen = if vlen_raw == TOMBSTONE {
+        0
+    } else {
+        vlen_raw as usize
+    };
+    let total = 12 + klen + vlen;
+    if data.len() < total {
+        return None;
+    }
+    if crc32(&data[4..total]) != stored_crc {
+        return None;
+    }
+    let key = data[12..12 + klen].to_vec();
+    let value = if vlen_raw == TOMBSTONE {
+        None
+    } else {
+        Some(data[12 + klen..total].to_vec())
+    };
+    Some((key, value, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "nt-wal-{}-{}-{name}.log",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        p
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let path = tmp("roundtrip");
+        let s = WalStore::open(&path).unwrap();
+        s.put(b"key", b"value").unwrap();
+        assert_eq!(s.get(b"key").unwrap(), Some(b"value".to_vec()));
+        s.delete(b"key").unwrap();
+        assert_eq!(s.get(b"key").unwrap(), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let path = tmp("reopen");
+        {
+            let s = WalStore::open(&path).unwrap();
+            s.put(b"a", b"1").unwrap();
+            s.put(b"b", b"2").unwrap();
+            s.put(b"a", b"3").unwrap();
+            s.delete(b"b").unwrap();
+            s.flush().unwrap();
+        }
+        let s = WalStore::open(&path).unwrap();
+        assert_eq!(s.get(b"a").unwrap(), Some(b"3".to_vec()));
+        assert_eq!(s.get(b"b").unwrap(), None);
+        assert_eq!(s.len().unwrap(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn recovers_from_torn_tail() {
+        let path = tmp("torn");
+        {
+            let s = WalStore::open(&path).unwrap();
+            s.put(b"a", b"1").unwrap();
+            s.put(b"b", b"2").unwrap();
+            s.flush().unwrap();
+        }
+        // Simulate a crash mid-append: chop bytes off the tail.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+
+        let s = WalStore::open(&path).unwrap();
+        assert_eq!(
+            s.get(b"a").unwrap(),
+            Some(b"1".to_vec()),
+            "first record intact"
+        );
+        assert_eq!(s.get(b"b").unwrap(), None, "torn record dropped");
+        // The store is writable again after truncation.
+        s.put(b"c", b"3").unwrap();
+        s.flush().unwrap();
+        drop(s);
+        let s = WalStore::open(&path).unwrap();
+        assert_eq!(s.get(b"c").unwrap(), Some(b"3".to_vec()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn detects_corrupt_record() {
+        let path = tmp("corrupt");
+        {
+            let s = WalStore::open(&path).unwrap();
+            s.put(b"a", b"1").unwrap();
+            s.put(b"b", b"2").unwrap();
+            s.flush().unwrap();
+        }
+        // Flip a byte in the middle of the second record's value.
+        let mut data = std::fs::read(&path).unwrap();
+        let n = data.len();
+        data[n - 1] ^= 0xff;
+        std::fs::write(&path, &data).unwrap();
+
+        let s = WalStore::open(&path).unwrap();
+        assert_eq!(s.get(b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(s.get(b"b").unwrap(), None, "corrupt record dropped");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_shrinks_log() {
+        let path = tmp("compact");
+        let s = WalStore::open(&path).unwrap();
+        for i in 0..100u32 {
+            // Overwrite the same key repeatedly: 99 dead records.
+            s.put(b"hot", &i.to_le_bytes()).unwrap();
+        }
+        let before = s.log_bytes();
+        let after = s.compact().unwrap();
+        assert!(after < before / 10, "compaction reclaims dead space");
+        assert_eq!(s.get(b"hot").unwrap(), Some(99u32.to_le_bytes().to_vec()));
+        // Store still durable after compaction.
+        s.put(b"cold", b"x").unwrap();
+        s.flush().unwrap();
+        drop(s);
+        let s = WalStore::open(&path).unwrap();
+        assert_eq!(s.get(b"hot").unwrap(), Some(99u32.to_le_bytes().to_vec()));
+        assert_eq!(s.get(b"cold").unwrap(), Some(b"x".to_vec()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn prefix_scan() {
+        let path = tmp("prefix");
+        let s = WalStore::open(&path).unwrap();
+        s.put(b"h/1", b"x").unwrap();
+        s.put(b"h/2", b"y").unwrap();
+        s.put(b"c/1", b"z").unwrap();
+        assert_eq!(s.keys_with_prefix(b"h/").unwrap().len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_key_and_value() {
+        let path = tmp("empty");
+        let s = WalStore::open(&path).unwrap();
+        s.put(b"", b"").unwrap();
+        assert_eq!(s.get(b"").unwrap(), Some(vec![]));
+        drop(s);
+        let s = WalStore::open(&path).unwrap();
+        assert_eq!(s.get(b"").unwrap(), Some(vec![]));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests: the WAL store behaves exactly like an in-memory map
+//! under arbitrary operation sequences — including across reopen (crash
+//! recovery) and compaction.
+
+use nt_storage::{MemStore, Store, WalStore};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Put(Vec<u8>, Vec<u8>),
+    Delete(Vec<u8>),
+    Reopen,
+    Compact,
+}
+
+fn arb_key() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..4, 1..4)
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (arb_key(), proptest::collection::vec(any::<u8>(), 0..32))
+            .prop_map(|(k, v)| Op::Put(k, v)),
+        2 => arb_key().prop_map(Op::Delete),
+        1 => Just(Op::Reopen),
+        1 => Just(Op::Compact),
+    ]
+}
+
+fn tmp_path(tag: u64) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "nt-wal-prop-{}-{}-{tag}.log",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn wal_matches_model(ops in proptest::collection::vec(arb_op(), 1..40), tag in any::<u64>()) {
+        let path = tmp_path(tag);
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut wal = WalStore::open(&path).unwrap();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    model.insert(k.clone(), v.clone());
+                    wal.put(k, v).unwrap();
+                }
+                Op::Delete(k) => {
+                    model.remove(k);
+                    wal.delete(k).unwrap();
+                }
+                Op::Reopen => {
+                    wal.flush().unwrap();
+                    drop(wal);
+                    wal = WalStore::open(&path).unwrap();
+                }
+                Op::Compact => {
+                    wal.compact().unwrap();
+                }
+            }
+        }
+        // Full-state equality with the model.
+        prop_assert_eq!(wal.len().unwrap(), model.len());
+        for (k, v) in &model {
+            let got = wal.get(k).unwrap();
+            prop_assert_eq!(got.as_ref(), Some(v));
+        }
+        // And again after a final reopen (durability).
+        wal.flush().unwrap();
+        drop(wal);
+        let wal = WalStore::open(&path).unwrap();
+        for (k, v) in &model {
+            let got = wal.get(k).unwrap();
+            prop_assert_eq!(got.as_ref(), Some(v));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mem_and_wal_agree_on_prefix_scans(
+        keys in proptest::collection::vec(arb_key(), 1..20),
+        prefix in proptest::collection::vec(0u8..4, 0..2),
+        tag in any::<u64>(),
+    ) {
+        let path = tmp_path(tag);
+        let mem = MemStore::new();
+        let wal = WalStore::open(&path).unwrap();
+        for (i, k) in keys.iter().enumerate() {
+            let v = vec![i as u8];
+            mem.put(k, &v).unwrap();
+            wal.put(k, &v).unwrap();
+        }
+        prop_assert_eq!(
+            mem.keys_with_prefix(&prefix).unwrap(),
+            wal.keys_with_prefix(&prefix).unwrap()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,65 @@
+//! Deployment assembly for Narwhal + Tusk validators.
+
+use narwhal::{AddressBook, NarwhalConfig, NarwhalMsg, NoExt, Primary, Worker};
+use nt_crypto::KeyPair;
+use nt_network::Actor;
+use nt_types::{Committee, ValidatorId, WorkerId};
+
+use crate::tusk::Tusk;
+
+/// The wire message type of a Tusk deployment (no consensus extension).
+pub type TuskMsg = NarwhalMsg<NoExt>;
+
+/// Builds the actors of a full Narwhal+Tusk deployment in [`AddressBook`]
+/// node order: primaries `0..n`, then `workers` workers per validator.
+///
+/// `domain` seeds the shared coin and must be the same for all validators
+/// of one deployment (vary it across experiment seeds).
+pub fn build_tusk_actors(
+    committee: &Committee,
+    keypairs: &[KeyPair],
+    config: &NarwhalConfig,
+    workers: u32,
+    domain: u64,
+) -> Vec<Box<dyn Actor<Message = TuskMsg>>> {
+    let n = committee.size();
+    let addr = AddressBook::new(n, workers);
+    let mut actors: Vec<Box<dyn Actor<Message = TuskMsg>>> = Vec::new();
+    for v in 0..n as u32 {
+        let tusk = Tusk::new(committee.clone(), domain);
+        actors.push(Box::new(Primary::new(
+            committee.clone(),
+            config.clone(),
+            addr,
+            ValidatorId(v),
+            keypairs[v as usize].clone(),
+            tusk,
+        )));
+    }
+    for v in 0..n as u32 {
+        for w in 0..workers {
+            actors.push(Box::new(Worker::<NoExt>::new(
+                committee.clone(),
+                config.clone(),
+                addr,
+                ValidatorId(v),
+                WorkerId(w),
+            )));
+        }
+    }
+    actors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_crypto::Scheme;
+
+    #[test]
+    fn actor_count_matches_layout() {
+        let (committee, kps) = Committee::deterministic(4, 1, Scheme::Insecure);
+        let config = NarwhalConfig::with_load(1000.0);
+        let actors = build_tusk_actors(&committee, &kps, &config, 2, 7);
+        assert_eq!(actors.len(), AddressBook::new(4, 2).total_hosts());
+    }
+}

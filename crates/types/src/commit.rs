@@ -1,0 +1,78 @@
+//! Commit events: what the consensus layer delivers to the application.
+
+use crate::committee::{ValidatorId, WorkerId};
+use crate::transaction::TxSample;
+use crate::Round;
+use nt_crypto::Digest;
+
+/// One committed block's worth of output, emitted by a consensus actor.
+///
+/// The metrics collector aggregates these to compute throughput (committed
+/// transactions and bytes per second) and latency (via the embedded
+/// [`TxSample`]s), exactly as the paper's benchmark scripts parse client and
+/// node logs.
+#[derive(Clone, Debug, Default)]
+pub struct CommitEvent {
+    /// Consensus-assigned sequence index of this block in the total order.
+    pub sequence: u64,
+    /// DAG round (or HotStuff view) of the committed block.
+    pub round: Round,
+    /// Creator of the committed block.
+    pub author: ValidatorId,
+    /// Number of transactions committed with this block.
+    pub tx_count: u64,
+    /// Number of transaction payload bytes committed with this block.
+    pub tx_bytes: u64,
+    /// Latency samples carried by the committed batches.
+    pub samples: Vec<TxSample>,
+    /// The round of the consensus anchor (Tusk wave leader / HotStuff
+    /// commit) that caused this block to commit; used to study commit
+    /// latency in rounds.
+    pub anchor_round: Round,
+    /// Batch references committed with this block: the execution engine
+    /// retrieves the data from the named worker (§8.4 — "Narwhal's
+    /// certificates irrevocably indicate which worker holds the
+    /// transaction data").
+    pub payload: Vec<(Digest, WorkerId)>,
+}
+
+impl CommitEvent {
+    /// Merges another event's counters into this one (used when a single
+    /// anchor flushes a sub-DAG of blocks).
+    pub fn absorb(&mut self, other: CommitEvent) {
+        self.tx_count += other.tx_count;
+        self.tx_bytes += other.tx_bytes;
+        self.samples.extend(other.samples);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = CommitEvent {
+            tx_count: 5,
+            tx_bytes: 100,
+            samples: vec![TxSample {
+                id: 1,
+                submit_ns: 10,
+            }],
+            ..Default::default()
+        };
+        let b = CommitEvent {
+            tx_count: 7,
+            tx_bytes: 200,
+            samples: vec![TxSample {
+                id: 2,
+                submit_ns: 20,
+            }],
+            ..Default::default()
+        };
+        a.absorb(b);
+        assert_eq!(a.tx_count, 12);
+        assert_eq!(a.tx_bytes, 300);
+        assert_eq!(a.samples.len(), 2);
+    }
+}

@@ -1,0 +1,300 @@
+//! Mempool blocks ("headers"): the vertices of the Narwhal DAG (§3.1).
+//!
+//! Each block carries its creator, a round number, the digests of the worker
+//! batches it makes available, references to `2f + 1` certificates of the
+//! previous round (its DAG parents), an optional coin share for Tusk, and
+//! the creator's signature.
+
+use crate::committee::{Committee, ValidatorId, WorkerId};
+use crate::{Round, WireSize};
+use nt_codec::{Decode, DecodeError, Encode, Reader};
+use nt_crypto::{CoinShare, Digest, Hashable, KeyPair, PublicKey, Signature};
+
+/// A Narwhal mempool block.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Header {
+    /// The block creator.
+    pub author: ValidatorId,
+    /// The DAG round this block belongs to.
+    pub round: Round,
+    /// Digests of worker batches whose data this block commits to, along
+    /// with the worker that holds them.
+    pub payload: Vec<(Digest, WorkerId)>,
+    /// Digests of `>= 2f + 1` certificates from round `round - 1`
+    /// (empty only at round 0, the genesis layer).
+    pub parents: Vec<Digest>,
+    /// This validator's threshold-coin share for the Tusk wave containing
+    /// this round. Carried in every block so the coin never needs extra
+    /// messages (§5: "zero-message overhead").
+    pub coin_share: Option<CoinShare>,
+    /// Creator signature over the block digest.
+    pub signature: Signature,
+}
+
+impl Header {
+    /// Builds and signs a block.
+    pub fn new(
+        keypair: &KeyPair,
+        author: ValidatorId,
+        round: Round,
+        payload: Vec<(Digest, WorkerId)>,
+        parents: Vec<Digest>,
+        coin_share: Option<CoinShare>,
+    ) -> Self {
+        let mut header = Header {
+            author,
+            round,
+            payload,
+            parents,
+            coin_share,
+            signature: Signature::default(),
+        };
+        header.signature = keypair.sign_digest(&header.digest());
+        header
+    }
+
+    /// Verifies the creator signature and structural validity against the
+    /// committee (§3.1 conditions 1 and 3; conditions 2 and 4 are stateful
+    /// and checked by the primary).
+    pub fn verify(&self, committee: &Committee) -> Result<(), HeaderError> {
+        if !committee.contains(self.author) {
+            return Err(HeaderError::UnknownAuthor);
+        }
+        if self.round > 0 && self.parents.len() < committee.quorum_threshold() {
+            return Err(HeaderError::InsufficientParents {
+                got: self.parents.len(),
+                need: committee.quorum_threshold(),
+            });
+        }
+        if self.round == 0 {
+            // Genesis blocks are deterministic and unsigned; they are valid
+            // iff they equal the canonical genesis for their author.
+            return if *self == Header::genesis(self.author) {
+                Ok(())
+            } else {
+                Err(HeaderError::InvalidGenesis)
+            };
+        }
+        let mut sorted = self.parents.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != self.parents.len() {
+            return Err(HeaderError::DuplicateParents);
+        }
+        let public = committee.public_key(self.author);
+        if !public.verify_digest(committee.scheme(), &self.digest(), &self.signature) {
+            return Err(HeaderError::InvalidSignature);
+        }
+        if let Some(share) = &self.coin_share {
+            if share.author != public || !share.verify(committee.scheme()) {
+                return Err(HeaderError::InvalidCoinShare);
+            }
+        }
+        Ok(())
+    }
+
+    /// The signing key's public identity under `committee`.
+    pub fn public_key(&self, committee: &Committee) -> PublicKey {
+        committee.public_key(self.author)
+    }
+
+    /// The deterministic genesis block of `author` (round 0, empty, unsigned).
+    ///
+    /// Genesis blocks are valid by construction: every validator can
+    /// recompute them, so no signature is needed (the paper initializes the
+    /// system with validators creating and certifying empty round-0 blocks).
+    pub fn genesis(author: ValidatorId) -> Header {
+        Header {
+            author,
+            round: 0,
+            payload: Vec::new(),
+            parents: Vec::new(),
+            coin_share: None,
+            signature: Signature::default(),
+        }
+    }
+}
+
+/// Why a block failed verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HeaderError {
+    /// The author is not a committee member.
+    UnknownAuthor,
+    /// Fewer than `2f + 1` parent certificates.
+    InsufficientParents {
+        /// Parents present.
+        got: usize,
+        /// Parents required.
+        need: usize,
+    },
+    /// A round-0 block must equal the canonical genesis for its author.
+    InvalidGenesis,
+    /// Duplicate parent references.
+    DuplicateParents,
+    /// The creator signature does not verify.
+    InvalidSignature,
+    /// The embedded coin share is malformed.
+    InvalidCoinShare,
+}
+
+impl std::fmt::Display for HeaderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeaderError::UnknownAuthor => write!(f, "unknown author"),
+            HeaderError::InsufficientParents { got, need } => {
+                write!(f, "{got} parents, need {need}")
+            }
+            HeaderError::InvalidGenesis => write!(f, "non-canonical genesis block"),
+            HeaderError::DuplicateParents => write!(f, "duplicate parents"),
+            HeaderError::InvalidSignature => write!(f, "invalid signature"),
+            HeaderError::InvalidCoinShare => write!(f, "invalid coin share"),
+        }
+    }
+}
+
+impl std::error::Error for HeaderError {}
+
+impl Hashable for Header {
+    fn digest(&self) -> Digest {
+        // The signature is excluded: it signs this digest.
+        let mut buf = Vec::with_capacity(128);
+        self.author.encode(&mut buf);
+        self.round.encode(&mut buf);
+        self.payload.encode(&mut buf);
+        self.parents.encode(&mut buf);
+        self.coin_share.encode(&mut buf);
+        Digest::of_parts(&[b"header", &buf])
+    }
+}
+
+impl Encode for Header {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.author.encode(buf);
+        self.round.encode(buf);
+        self.payload.encode(buf);
+        self.parents.encode(buf);
+        self.coin_share.encode(buf);
+        self.signature.0.encode(buf);
+    }
+}
+
+impl Decode for Header {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Header {
+            author: ValidatorId::decode(reader)?,
+            round: u64::decode(reader)?,
+            payload: Vec::<(Digest, WorkerId)>::decode(reader)?,
+            parents: Vec::<Digest>::decode(reader)?,
+            coin_share: Option::<CoinShare>::decode(reader)?,
+            signature: Signature(<[u8; 64]>::decode(reader)?),
+        })
+    }
+}
+
+impl WireSize for Header {
+    fn wire_size(&self) -> usize {
+        self.encoded_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_codec::{decode_from_slice, encode_to_vec};
+    use nt_crypto::Scheme;
+
+    fn setup() -> (Committee, Vec<KeyPair>) {
+        Committee::deterministic(4, 1, Scheme::Ed25519)
+    }
+
+    fn make_header(committee: &Committee, kp: &KeyPair, round: Round) -> Header {
+        let parents: Vec<Digest> = if round == 0 {
+            vec![]
+        } else {
+            (0..committee.quorum_threshold())
+                .map(|i| Digest::of(&[i as u8, round as u8]))
+                .collect()
+        };
+        Header::new(
+            kp,
+            committee.id_of(&kp.public()).unwrap(),
+            round,
+            vec![(Digest::of(b"batch0"), WorkerId(0))],
+            parents,
+            None,
+        )
+    }
+
+    #[test]
+    fn valid_header_verifies() {
+        let (c, kps) = setup();
+        let h = make_header(&c, &kps[0], 1);
+        assert_eq!(h.verify(&c), Ok(()));
+    }
+
+    #[test]
+    fn genesis_verifies_without_parents() {
+        let (c, _) = setup();
+        let h = Header::genesis(ValidatorId(1));
+        assert_eq!(h.verify(&c), Ok(()));
+    }
+
+    #[test]
+    fn non_canonical_genesis_rejected() {
+        let (c, kps) = setup();
+        // A round-0 block with payload is not the canonical genesis.
+        let h = make_header(&c, &kps[1], 0);
+        assert_eq!(h.verify(&c), Err(HeaderError::InvalidGenesis));
+    }
+
+    #[test]
+    fn too_few_parents_rejected() {
+        let (c, kps) = setup();
+        let mut h = make_header(&c, &kps[0], 1);
+        h.parents.truncate(2);
+        assert!(matches!(
+            h.verify(&c),
+            Err(HeaderError::InsufficientParents { got: 2, need: 3 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_parents_rejected() {
+        let (c, kps) = setup();
+        let mut h = make_header(&c, &kps[0], 1);
+        h.parents[1] = h.parents[0];
+        // Re-sign so only the duplicate check can fail.
+        h.signature = kps[0].sign_digest(&h.digest());
+        assert_eq!(h.verify(&c), Err(HeaderError::DuplicateParents));
+    }
+
+    #[test]
+    fn tampered_header_rejected() {
+        let (c, kps) = setup();
+        let mut h = make_header(&c, &kps[0], 1);
+        h.round = 2;
+        assert_eq!(h.verify(&c), Err(HeaderError::InvalidSignature));
+    }
+
+    #[test]
+    fn forged_author_rejected() {
+        let (c, kps) = setup();
+        let mut h = make_header(&c, &kps[0], 1);
+        // Author claims to be validator 1 but signed with key 0.
+        h.author = ValidatorId(1);
+        h.signature = kps[0].sign_digest(&h.digest());
+        assert_eq!(h.verify(&c), Err(HeaderError::InvalidSignature));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (c, kps) = setup();
+        let share = CoinShare::new(&kps[0], 3);
+        let mut h = make_header(&c, &kps[0], 1);
+        h.coin_share = Some(share);
+        h.signature = kps[0].sign_digest(&h.digest());
+        let back: Header = decode_from_slice(&encode_to_vec(&h)).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.digest(), h.digest());
+    }
+}

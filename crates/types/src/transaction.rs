@@ -1,0 +1,124 @@
+//! Client transactions and the latency-sampling machinery.
+
+use crate::WireSize;
+use nt_codec::{Decode, DecodeError, Encode, Reader};
+
+/// An opaque client transaction.
+///
+/// Narwhal treats transaction contents as opaque bytes; the evaluation uses
+/// fixed 512 B transactions (§7).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Transaction {
+    /// Raw payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Transaction {
+    /// Creates a transaction from raw bytes.
+    pub fn new(payload: Vec<u8>) -> Self {
+        Transaction { payload }
+    }
+
+    /// Creates a deterministic filler transaction of `size` bytes whose
+    /// first 16 bytes encode `(id, tag)` so tests can tell them apart.
+    pub fn filler(id: u64, tag: u64, size: usize) -> Self {
+        let mut payload = vec![0u8; size.max(16)];
+        payload[..8].copy_from_slice(&id.to_le_bytes());
+        payload[8..16].copy_from_slice(&tag.to_le_bytes());
+        Transaction { payload }
+    }
+
+    /// Payload size in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True if the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+impl Encode for Transaction {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.payload.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.payload.encoded_len()
+    }
+}
+
+impl Decode for Transaction {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Transaction {
+            payload: Vec::<u8>::decode(reader)?,
+        })
+    }
+}
+
+impl WireSize for Transaction {
+    fn wire_size(&self) -> usize {
+        self.encoded_len()
+    }
+}
+
+/// A sampled transaction used for end-to-end latency measurement.
+///
+/// The paper measures latency "from when the client submits the transaction
+/// to when the transaction is committed" by "tracking sample transactions
+/// throughout the system" (§7). A `TxSample` records a submission timestamp;
+/// it rides inside the batch that contains the sampled transaction and
+/// surfaces again in the [`crate::CommitEvent`] when that batch commits.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TxSample {
+    /// Unique sample id (for deduplication in the metrics collector).
+    pub id: u64,
+    /// Client submission time, nanoseconds since simulation start.
+    pub submit_ns: u64,
+}
+
+impl Encode for TxSample {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.id.encode(buf);
+        self.submit_ns.encode(buf);
+    }
+}
+
+impl Decode for TxSample {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(TxSample {
+            id: u64::decode(reader)?,
+            submit_ns: u64::decode(reader)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_codec::{decode_from_slice, encode_to_vec};
+
+    #[test]
+    fn filler_encodes_id() {
+        let tx = Transaction::filler(42, 7, 512);
+        assert_eq!(tx.len(), 512);
+        assert_eq!(u64::from_le_bytes(tx.payload[..8].try_into().unwrap()), 42);
+    }
+
+    #[test]
+    fn transaction_roundtrip() {
+        let tx = Transaction::filler(1, 2, 64);
+        let back: Transaction = decode_from_slice(&encode_to_vec(&tx)).unwrap();
+        assert_eq!(back, tx);
+    }
+
+    #[test]
+    fn sample_roundtrip() {
+        let s = TxSample {
+            id: 9,
+            submit_ns: 1_000_000,
+        };
+        let back: TxSample = decode_from_slice(&encode_to_vec(&s)).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests: every wire type round-trips through the canonical codec,
+//! and digests are stable under re-encoding.
+
+use nt_codec::{decode_from_slice, encode_to_vec};
+use nt_crypto::{CoinShare, Digest, Hashable, KeyPair, Scheme};
+use nt_types::{
+    Batch, Certificate, Committee, Header, Transaction, TxSample, ValidatorId, Vote, WorkerId,
+};
+use proptest::prelude::*;
+
+fn arb_digest() -> impl Strategy<Value = Digest> {
+    any::<[u8; 32]>().prop_map(Digest::from)
+}
+
+fn arb_sample() -> impl Strategy<Value = TxSample> {
+    (any::<u64>(), any::<u64>()).prop_map(|(id, submit_ns)| TxSample { id, submit_ns })
+}
+
+fn arb_transaction() -> impl Strategy<Value = Transaction> {
+    proptest::collection::vec(any::<u8>(), 0..256).prop_map(Transaction::new)
+}
+
+fn arb_batch() -> impl Strategy<Value = Batch> {
+    (
+        0u32..8,
+        0u32..4,
+        any::<u64>(),
+        proptest::collection::vec(arb_transaction(), 0..8),
+        proptest::collection::vec(arb_sample(), 0..4),
+        any::<bool>(),
+        1u64..10_000,
+    )
+        .prop_map(|(v, w, seq, txs, samples, synthetic, count)| {
+            if synthetic {
+                Batch::synthetic(
+                    ValidatorId(v),
+                    WorkerId(w),
+                    seq,
+                    count,
+                    count * 512,
+                    samples,
+                )
+            } else {
+                Batch::new(ValidatorId(v), WorkerId(w), seq, txs, samples)
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn batch_roundtrip(batch in arb_batch()) {
+        let bytes = encode_to_vec(&batch);
+        let back: Batch = decode_from_slice(&bytes).unwrap();
+        prop_assert_eq!(&back, &batch);
+        prop_assert_eq!(back.digest(), batch.digest());
+    }
+
+    #[test]
+    fn header_roundtrip(
+        author in 0u32..4,
+        round in 0u64..1000,
+        payload in proptest::collection::vec((arb_digest(), 0u32..4), 0..8),
+        parents in proptest::collection::vec(arb_digest(), 3..8),
+        with_share in any::<bool>(),
+    ) {
+        let kp = KeyPair::for_index(Scheme::Insecure, author as usize);
+        let share = with_share.then(|| CoinShare::new(&kp, round));
+        let payload: Vec<(Digest, WorkerId)> =
+            payload.into_iter().map(|(d, w)| (d, WorkerId(w))).collect();
+        let header = Header::new(&kp, ValidatorId(author), round, payload, parents, share);
+        let bytes = encode_to_vec(&header);
+        let back: Header = decode_from_slice(&bytes).unwrap();
+        prop_assert_eq!(&back, &header);
+        prop_assert_eq!(back.digest(), header.digest());
+    }
+
+    #[test]
+    fn vote_roundtrip(
+        digest in arb_digest(),
+        round in 0u64..1000,
+        origin in 0u32..4,
+        voter in 0u32..4,
+    ) {
+        let kp = KeyPair::for_index(Scheme::Insecure, voter as usize);
+        let vote = Vote::new(&kp, ValidatorId(voter), digest, round, ValidatorId(origin));
+        let back: Vote = decode_from_slice(&encode_to_vec(&vote)).unwrap();
+        prop_assert_eq!(back, vote);
+    }
+
+    #[test]
+    fn certificate_roundtrip(round in 1u64..100, author in 0u32..4) {
+        let (committee, kps) = Committee::deterministic(4, 1, Scheme::Insecure);
+        let parents: Vec<Digest> = Certificate::genesis_set(&committee)
+            .iter()
+            .map(Certificate::header_digest)
+            .collect();
+        let header = Header::new(
+            &kps[author as usize],
+            ValidatorId(author),
+            round,
+            vec![],
+            parents,
+            None,
+        );
+        let votes: Vec<Vote> = kps
+            .iter()
+            .enumerate()
+            .map(|(i, kp)| {
+                Vote::new(kp, ValidatorId(i as u32), header.digest(), round, header.author)
+            })
+            .collect();
+        let cert = Certificate::from_votes(&committee, header, &votes).unwrap();
+        let back: Certificate = decode_from_slice(&encode_to_vec(&cert)).unwrap();
+        prop_assert_eq!(&back, &cert);
+        prop_assert_eq!(back.digest(), cert.digest());
+        prop_assert!(back.verify(&committee).is_ok());
+    }
+
+    #[test]
+    fn corrupting_any_byte_never_panics_and_usually_fails(
+        round in 1u64..50,
+        flip_at_frac in 0.0f64..1.0,
+        flip_bit in 0u8..8,
+    ) {
+        let kp = KeyPair::for_index(Scheme::Insecure, 0);
+        let header = Header::new(
+            &kp,
+            ValidatorId(0),
+            round,
+            vec![(Digest::of(b"batch"), WorkerId(0))],
+            (0..3).map(|i| Digest::of(&[i as u8])).collect(),
+            None,
+        );
+        let mut bytes = encode_to_vec(&header);
+        let idx = ((bytes.len() - 1) as f64 * flip_at_frac) as usize;
+        bytes[idx] ^= 1 << flip_bit;
+        // Must not panic; if it decodes, the digest/signature must differ
+        // (no silent acceptance of corrupted content).
+        if let Ok(back) = decode_from_slice::<Header>(&bytes) {
+            prop_assert!(back != header);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! A replicated payment ledger on Narwhal+Tusk.
+//!
+//! This is the paper's target workload: a blockchain committing transfer
+//! transactions. It demonstrates the full state-machine-replication loop,
+//! including the §8.4 execution-engine flow the paper describes: commits
+//! deliver *batch references*, and the execution layer retrieves the data
+//! from the worker named in the certificate.
+//!
+//! The example verifies the replicated ledgers at two different validators
+//! reach the same final balances — the whole point of a total order.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example payment_ledger
+//! ```
+
+use narwhal::{AddressBook, NarwhalConfig, NarwhalMsg};
+use narwhal_tusk::network::{LocalRuntime, MS};
+use narwhal_tusk::tusk::build_tusk_actors;
+use nt_crypto::Scheme;
+use nt_types::{Batch, BatchPayload, Committee, Transaction, ValidatorId};
+use std::collections::HashMap;
+use std::time::Duration;
+
+const ACCOUNTS: usize = 8;
+const TRANSFERS: u64 = 240;
+const INITIAL_BALANCE: i64 = 1_000;
+
+/// Encodes a transfer as transaction payload bytes.
+fn transfer_tx(id: u64, from: u8, to: u8, amount: u32) -> Transaction {
+    let mut payload = vec![0u8; 64];
+    payload[..8].copy_from_slice(&id.to_le_bytes());
+    payload[8] = from;
+    payload[9] = to;
+    payload[10..14].copy_from_slice(&amount.to_le_bytes());
+    Transaction::new(payload)
+}
+
+/// Applies a batch of transfers to a ledger, in order.
+fn apply(ledger: &mut HashMap<u8, i64>, batch: &Batch) {
+    if let BatchPayload::Data(txs) = &batch.payload {
+        for tx in txs {
+            let from = tx.payload[8];
+            let to = tx.payload[9];
+            let amount =
+                u32::from_le_bytes(tx.payload[10..14].try_into().expect("4 bytes")) as i64;
+            *ledger.entry(from).or_insert(INITIAL_BALANCE) -= amount;
+            *ledger.entry(to).or_insert(INITIAL_BALANCE) += amount;
+        }
+    }
+}
+
+fn main() {
+    let n = 4;
+    let (committee, keypairs) = Committee::deterministic(n, 1, Scheme::Ed25519);
+    let addr = AddressBook::new(n, 1);
+    let config = NarwhalConfig {
+        batch_bytes: 4_096,
+        max_batch_delay: 50 * MS,
+        max_header_delay: 100 * MS,
+        ..NarwhalConfig::default()
+    };
+    let actors = build_tusk_actors(&committee, &keypairs, &config, 1, 42);
+    let handle = LocalRuntime::spawn(actors);
+
+    println!("Submitting {TRANSFERS} transfers between {ACCOUNTS} accounts...");
+    for i in 0..TRANSFERS {
+        let from = (i % ACCOUNTS as u64) as u8;
+        let to = ((i + 3) % ACCOUNTS as u64) as u8;
+        let worker_node = n + (i as usize % n);
+        handle.client_send(
+            worker_node,
+            NarwhalMsg::ClientTx(transfer_tx(i, from, to, 1 + (i % 7) as u32)),
+        );
+    }
+
+    // Collect commit events from two validators; each delivers batch
+    // references in its local commit order. Stop once every transfer is in
+    // the total order (summing `node == author` events counts each batch
+    // exactly once across the system).
+    let mut ordered_refs: HashMap<usize, Vec<(nt_crypto::Digest, ValidatorId)>> = HashMap::new();
+    let mut committed_txs = 0u64;
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while committed_txs < TRANSFERS && std::time::Instant::now() < deadline {
+        let Some((node, event)) = handle.next_commit(Duration::from_secs(2)) else {
+            break;
+        };
+        if node == event.author.0 as usize {
+            committed_txs += event.tx_count;
+        }
+        if node <= 1 {
+            for (digest, _worker) in &event.payload {
+                ordered_refs
+                    .entry(node)
+                    .or_default()
+                    .push((*digest, event.author));
+            }
+        }
+    }
+    // Give the slower validator a moment to deliver the same tail.
+    while let Some((node, event)) = handle.next_commit(Duration::from_millis(300)) {
+        if node <= 1 {
+            for (digest, _worker) in &event.payload {
+                ordered_refs
+                    .entry(node)
+                    .or_default()
+                    .push((*digest, event.author));
+            }
+        }
+        let shortest = ordered_refs.values().map(Vec::len).min().unwrap_or(0);
+        if shortest * 2 >= ordered_refs.values().map(Vec::len).max().unwrap_or(0) * 2 {
+            // Both views have caught up to the same length.
+            if ordered_refs.len() == 2
+                && ordered_refs[&0].len() == ordered_refs[&1].len()
+            {
+                break;
+            }
+        }
+    }
+
+    // Execution-engine flow (§8.4): fetch committed batch data from the
+    // worker named in the certificate, then apply in commit order.
+    let mut ledgers: Vec<HashMap<u8, i64>> = Vec::new();
+    for node in 0..2usize {
+        let mut ledger: HashMap<u8, i64> =
+            (0..ACCOUNTS as u8).map(|a| (a, INITIAL_BALANCE)).collect();
+        let refs = ordered_refs.remove(&node).unwrap_or_default();
+        println!(
+            "Validator {node} committed {} batches; retrieving data from workers...",
+            refs.len()
+        );
+        for (digest, creator) in refs {
+            // Ask the creator's worker for the batch data.
+            let worker_node = addr.worker(creator, nt_types::WorkerId(0));
+            handle.client_send(
+                worker_node,
+                NarwhalMsg::BatchRequest {
+                    digests: vec![digest],
+                },
+            );
+            if let Some((_, NarwhalMsg::BatchResponse { batches })) =
+                handle.client_recv(Duration::from_secs(2))
+            {
+                for batch in &batches {
+                    apply(&mut ledger, batch);
+                }
+            }
+        }
+        ledgers.push(ledger);
+    }
+    handle.shutdown();
+
+    let total: i64 = ledgers[0].values().sum();
+    println!();
+    println!("Final balances at validator 0:");
+    let mut accounts: Vec<_> = ledgers[0].iter().collect();
+    accounts.sort();
+    for (account, balance) in accounts {
+        println!("  account {account}: {balance}");
+    }
+    assert_eq!(
+        total,
+        ACCOUNTS as i64 * INITIAL_BALANCE,
+        "transfers conserve total balance"
+    );
+    // Compare the common prefix of both replicas (one may have committed a
+    // few more empty rounds at shutdown).
+    assert_eq!(
+        ledgers[0], ledgers[1],
+        "replicated ledgers agree (total order!)"
+    );
+    println!();
+    println!("Both validators' ledgers agree; balances conserve. SMR works.");
+}

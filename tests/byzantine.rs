@@ -1,0 +1,206 @@
+//! Byzantine-behaviour tests: equivocation, forged certificates, bad coin
+//! shares. These cross the crypto/types/narwhal crate boundaries, using the
+//! real Ed25519 scheme so signature checks are actually load-bearing.
+
+use narwhal::{AddressBook, Dag, InsertOutcome, NarwhalConfig, NoConsensus, NoExt, Primary};
+use nt_crypto::{CoinShare, Digest, Hashable, KeyPair, Scheme};
+use nt_network::{Context, Effect};
+use nt_types::{Certificate, Committee, Header, ValidatorId, Vote, WorkerId};
+
+type Msg = narwhal::NarwhalMsg<NoExt>;
+
+fn setup() -> (Committee, Vec<KeyPair>, Primary<NoConsensus>) {
+    let (committee, kps) = Committee::deterministic(4, 1, Scheme::Ed25519);
+    let addr = AddressBook::new(4, 1);
+    let mut primary = Primary::new(
+        committee.clone(),
+        NarwhalConfig::default(),
+        addr,
+        ValidatorId(0),
+        kps[0].clone(),
+        NoConsensus,
+    );
+    let mut ctx = Context::new(0, 0);
+    use nt_network::Actor;
+    primary.on_start(&mut ctx);
+    (committee, kps, primary)
+}
+
+fn genesis_parents(committee: &Committee) -> Vec<Digest> {
+    Certificate::genesis_set(committee)
+        .iter()
+        .map(Certificate::header_digest)
+        .collect()
+}
+
+fn votes_sent(effects: Vec<Effect<Msg>>) -> usize {
+    effects
+        .iter()
+        .filter(|e| matches!(e, Effect::Send { msg: narwhal::NarwhalMsg::Vote(_), .. }))
+        .count()
+}
+
+#[test]
+fn equivocating_blocks_get_one_vote_only() {
+    use nt_network::Actor;
+    let (committee, kps, mut primary) = setup();
+    let parents = genesis_parents(&committee);
+    let block_a = Header::new(&kps[1], ValidatorId(1), 1, vec![], parents.clone(), None);
+    let block_b = Header::new(
+        &kps[1],
+        ValidatorId(1),
+        1,
+        vec![(Digest::of(b"other payload"), WorkerId(0))],
+        parents,
+        None,
+    );
+    // Wait: block_b carries a payload the primary does not store, so it
+    // would pend on availability rather than hit the equivocation check.
+    // Use an empty-but-different block instead (different coin share).
+    let share = CoinShare::new(&kps[1], 1);
+    let block_b = Header::new(
+        &kps[1],
+        ValidatorId(1),
+        1,
+        vec![],
+        block_b.parents.clone(),
+        Some(share),
+    );
+    assert_ne!(block_a.digest(), block_b.digest(), "distinct blocks");
+
+    let mut ctx = Context::new(1, 0);
+    primary.on_message(1, narwhal::NarwhalMsg::Header(block_a), &mut ctx);
+    assert_eq!(votes_sent(ctx.drain()), 1, "first block gets the vote");
+
+    let mut ctx = Context::new(2, 0);
+    primary.on_message(1, narwhal::NarwhalMsg::Header(block_b), &mut ctx);
+    assert_eq!(
+        votes_sent(ctx.drain()),
+        0,
+        "the equivocating second block is dismissed (§3.1 condition 4)"
+    );
+}
+
+#[test]
+fn forged_signature_on_block_is_rejected() {
+    use nt_network::Actor;
+    let (committee, kps, mut primary) = setup();
+    // Validator 2's key signs a block claiming to be from validator 1.
+    let mut forged = Header::new(&kps[2], ValidatorId(1), 1, vec![], genesis_parents(&committee), None);
+    forged.signature = kps[2].sign_digest(&forged.digest());
+    let mut ctx = Context::new(1, 0);
+    primary.on_message(2, narwhal::NarwhalMsg::Header(forged), &mut ctx);
+    assert_eq!(votes_sent(ctx.drain()), 0, "forged author never gets a vote");
+}
+
+#[test]
+fn understaffed_certificate_never_enters_the_dag() {
+    let (committee, kps, _) = setup();
+    let header = Header::new(&kps[1], ValidatorId(1), 1, vec![], genesis_parents(&committee), None);
+    // Only 2 votes < quorum of 3: assembly already fails...
+    let votes: Vec<Vote> = kps[..2]
+        .iter()
+        .enumerate()
+        .map(|(i, kp)| Vote::new(kp, ValidatorId(i as u32), header.digest(), 1, ValidatorId(1)))
+        .collect();
+    assert!(Certificate::from_votes(&committee, header.clone(), &votes).is_none());
+    // ...and a hand-rolled one fails verification.
+    let fake = Certificate {
+        header,
+        votes: votes.iter().map(|v| (v.voter, v.signature)).collect(),
+    };
+    assert!(fake.verify(&committee).is_err());
+}
+
+#[test]
+fn duplicated_vote_signatures_cannot_fake_a_quorum() {
+    let (committee, kps, _) = setup();
+    let header = Header::new(&kps[1], ValidatorId(1), 1, vec![], genesis_parents(&committee), None);
+    let real = Vote::new(&kps[2], ValidatorId(2), header.digest(), 1, ValidatorId(1));
+    // One real signature replicated under three voter ids.
+    let fake = Certificate {
+        header,
+        votes: vec![
+            (ValidatorId(1), real.signature),
+            (ValidatorId(2), real.signature),
+            (ValidatorId(3), real.signature),
+        ],
+    };
+    assert!(
+        fake.verify(&committee).is_err(),
+        "signatures are bound to their voter's key"
+    );
+}
+
+#[test]
+fn equivocation_cannot_produce_two_certificates() {
+    // Quorum intersection: with n=4 honest-majority voting (each honest
+    // validator votes once per (round, creator)), two conflicting blocks
+    // cannot both gather 2f+1 votes. Simulate the strongest case: the
+    // Byzantine creator signs both blocks itself and one other validator
+    // is also Byzantine (double-votes).
+    let (committee, kps, _) = setup();
+    let parents = genesis_parents(&committee);
+    let block_a = Header::new(&kps[1], ValidatorId(1), 1, vec![], parents.clone(), None);
+    let share = CoinShare::new(&kps[1], 1);
+    let block_b = Header::new(&kps[1], ValidatorId(1), 1, vec![], parents, Some(share));
+
+    // Byzantine voters 1 (creator) and 2 vote for BOTH; honest 0 votes A,
+    // honest 3 votes B.
+    let vote = |kp: &KeyPair, id: u32, h: &Header| {
+        Vote::new(kp, ValidatorId(id), h.digest(), 1, ValidatorId(1))
+    };
+    let votes_a = vec![
+        vote(&kps[0], 0, &block_a),
+        vote(&kps[1], 1, &block_a),
+        vote(&kps[2], 2, &block_a),
+    ];
+    let votes_b = vec![
+        vote(&kps[3], 3, &block_b),
+        vote(&kps[1], 1, &block_b),
+        vote(&kps[2], 2, &block_b),
+    ];
+    let cert_a = Certificate::from_votes(&committee, block_a, &votes_a);
+    let cert_b = Certificate::from_votes(&committee, block_b, &votes_b);
+    // Both *can* form only because 2 of 4 validators are Byzantine here —
+    // above the f=1 the committee tolerates. With at most f Byzantine
+    // voters, at most one block per (round, creator) can be certified; the
+    // DAG enforces first-wins on the slot either way.
+    let mut dag = Dag::new();
+    dag.insert_genesis(Certificate::genesis_set(&committee));
+    if let Some(a) = cert_a {
+        assert_eq!(dag.insert(a), InsertOutcome::Inserted);
+    }
+    if let Some(b) = cert_b {
+        assert_eq!(
+            dag.insert(b),
+            InsertOutcome::Duplicate,
+            "one slot per (round, author)"
+        );
+    }
+}
+
+#[test]
+fn invalid_coin_share_blocks_the_header() {
+    use nt_network::Actor;
+    let (committee, kps, mut primary) = setup();
+    // A coin share signed by the wrong key.
+    let bogus_share = CoinShare {
+        author: kps[1].public(),
+        wave: 1,
+        signature: kps[2].sign(b"wrong message"),
+    };
+    let mut header = Header::new(
+        &kps[1],
+        ValidatorId(1),
+        1,
+        vec![],
+        genesis_parents(&committee),
+        None,
+    );
+    header.coin_share = Some(bogus_share);
+    header.signature = kps[1].sign_digest(&header.digest());
+    let mut ctx = Context::new(1, 0);
+    primary.on_message(1, narwhal::NarwhalMsg::Header(header), &mut ctx);
+    assert_eq!(votes_sent(ctx.drain()), 0, "bad coin share, no vote");
+}
