@@ -8,8 +8,13 @@ use nt_network::SEC;
 fn main() {
     let probe = |sys: System, n: usize, w: u32, rate: f64, faults: usize, dur: u64| {
         let params = BenchParams {
-            nodes: n, workers: w, rate, faults,
-            duration: dur * SEC, seed: 1, ..Default::default()
+            nodes: n,
+            workers: w,
+            rate,
+            faults,
+            duration: dur * SEC,
+            seed: 1,
+            ..Default::default()
         };
         let s = run_system(sys, &params, vec![]);
         println!(

@@ -101,8 +101,7 @@ impl BlockStore {
         let Some(bytes) = self.inner.get(&cert_key(round, digest))? else {
             return Ok(None);
         };
-        let cert =
-            decode_from_slice(&bytes).map_err(|_| BlockStoreError::Corrupt(*digest))?;
+        let cert = decode_from_slice(&bytes).map_err(|_| BlockStoreError::Corrupt(*digest))?;
         Ok(Some(cert))
     }
 
@@ -118,8 +117,7 @@ impl BlockStore {
         let Some(bytes) = self.inner.get(&batch_key(digest))? else {
             return Ok(None);
         };
-        let batch =
-            decode_from_slice(&bytes).map_err(|_| BlockStoreError::Corrupt(*digest))?;
+        let batch = decode_from_slice(&bytes).map_err(|_| BlockStoreError::Corrupt(*digest))?;
         Ok(Some(batch))
     }
 
@@ -132,9 +130,8 @@ impl BlockStore {
             if key.len() < 2 + 8 {
                 continue;
             }
-            let key_round = Round::from_be_bytes(
-                key[2..10].try_into().expect("8-byte round prefix"),
-            );
+            let key_round =
+                Round::from_be_bytes(key[2..10].try_into().expect("8-byte round prefix"));
             if key_round < round {
                 if key.len() >= 2 + 8 + 32 {
                     let digest = Digest(key[10..42].try_into().expect("32-byte digest"));
@@ -212,7 +209,13 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(j, kp)| {
-                Vote::new(kp, ValidatorId(j as u32), header.digest(), round, header.author)
+                Vote::new(
+                    kp,
+                    ValidatorId(j as u32),
+                    header.digest(),
+                    round,
+                    header.author,
+                )
             })
             .collect();
         Certificate::from_votes(committee, header, &votes).expect("quorum")
@@ -362,7 +365,11 @@ mod tests {
         let dag = s.load_dag(&committee).unwrap();
         // At least the first three certificates survive (the fourth's tail
         // record was torn; recovery keeps every complete record).
-        assert!(dag.round_size(1) >= 3, "recovered {} certs", dag.round_size(1));
+        assert!(
+            dag.round_size(1) >= 3,
+            "recovered {} certs",
+            dag.round_size(1)
+        );
         std::fs::remove_file(&path).ok();
     }
 }

@@ -12,18 +12,14 @@
 //!   the order certificates arrived.
 
 use narwhal::Dag;
-use nt_crypto::{Digest, Hashable, KeyPair, Scheme};
+use nt_crypto::{Digest, Hashable, Scheme};
 use nt_types::{Certificate, Committee, Header, Round, ValidatorId, Vote};
 use proptest::prelude::*;
 use std::collections::HashSet;
 
 /// Builds a randomized DAG: every block references a random 2f+1-subset of
 /// the previous round. Returns all certificates (genesis first).
-fn random_dag(
-    n: usize,
-    rounds: Round,
-    edge_choices: &[u8],
-) -> (Committee, Vec<Certificate>) {
+fn random_dag(n: usize, rounds: Round, edge_choices: &[u8]) -> (Committee, Vec<Certificate>) {
     let (committee, kps) = Committee::deterministic(n, 1, Scheme::Insecure);
     let quorum = committee.quorum_threshold();
     let mut all: Vec<Certificate> = Certificate::genesis_set(&committee);
@@ -36,11 +32,8 @@ fn random_dag(
             // Pseudo-random parent subset driven by the proptest input.
             let mut parents: Vec<Digest> = prev.clone();
             while parents.len() > quorum {
-                let pick = edge_choices
-                    .get(choice_idx)
-                    .copied()
-                    .unwrap_or(0) as usize
-                    % parents.len();
+                let pick =
+                    edge_choices.get(choice_idx).copied().unwrap_or(0) as usize % parents.len();
                 choice_idx += 1;
                 parents.remove(pick);
             }
@@ -49,7 +42,13 @@ fn random_dag(
                 .iter()
                 .enumerate()
                 .map(|(j, vkp)| {
-                    Vote::new(vkp, ValidatorId(j as u32), header.digest(), r, header.author)
+                    Vote::new(
+                        vkp,
+                        ValidatorId(j as u32),
+                        header.digest(),
+                        r,
+                        header.author,
+                    )
                 })
                 .collect();
             let cert = Certificate::from_votes(&committee, header, &votes).expect("quorum");

@@ -156,7 +156,15 @@ fn node_loop<M, A>(
             timers.pop();
             let mut ctx = Context::new(now, node);
             actor.on_timer(tag, &mut ctx);
-            apply_effects(node, ctx.drain(), &peers, &commits, &client, &mut timers, now);
+            apply_effects(
+                node,
+                ctx.drain(),
+                &peers,
+                &commits,
+                &client,
+                &mut timers,
+                now,
+            );
         }
 
         // Wait for the next message or timer deadline.
@@ -170,7 +178,15 @@ fn node_loop<M, A>(
                 let now = now_ns(start);
                 let mut ctx = Context::new(now, node);
                 actor.on_message(from, msg, &mut ctx);
-                apply_effects(node, ctx.drain(), &peers, &commits, &client, &mut timers, now);
+                apply_effects(
+                    node,
+                    ctx.drain(),
+                    &peers,
+                    &commits,
+                    &client,
+                    &mut timers,
+                    now,
+                );
             }
             Ok(Input::Stop) => return,
             Err(RecvTimeoutError::Timeout) => continue,

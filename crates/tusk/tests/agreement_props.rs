@@ -3,7 +3,7 @@
 //! quorum floor — commit prefix-consistent anchor sequences.
 
 use narwhal::{ConsensusOut, Dag, DagConsensus};
-use nt_crypto::{CoinShare, Digest, Hashable, KeyPair, Scheme};
+use nt_crypto::{CoinShare, Digest, Hashable, Scheme};
 use nt_types::{Certificate, Committee, Header, Round, ValidatorId, Vote};
 use proptest::prelude::*;
 use tusk::Tusk;
@@ -26,13 +26,18 @@ fn random_dag_certs(n: usize, rounds: Round, edges: &[u8]) -> (Committee, Vec<Ce
                 parents.remove(pick);
             }
             let share = CoinShare::new(kp, r);
-            let header =
-                Header::new(kp, ValidatorId(i as u32), r, vec![], parents, Some(share));
+            let header = Header::new(kp, ValidatorId(i as u32), r, vec![], parents, Some(share));
             let votes: Vec<Vote> = kps
                 .iter()
                 .enumerate()
                 .map(|(j, vkp)| {
-                    Vote::new(vkp, ValidatorId(j as u32), header.digest(), r, header.author)
+                    Vote::new(
+                        vkp,
+                        ValidatorId(j as u32),
+                        header.digest(),
+                        r,
+                        header.author,
+                    )
                 })
                 .collect();
             let cert = Certificate::from_votes(&committee, header, &votes).expect("quorum");

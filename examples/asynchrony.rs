@@ -76,8 +76,7 @@ fn run(system: System, duration: u64) -> Vec<u64> {
             Simulation::new(topology, config, actors).run().commits
         }
         System::BatchedHs => {
-            let actors =
-                nt_hotstuff::build_batched_hs_actors(params.nodes, &params.hs_config());
+            let actors = nt_hotstuff::build_batched_hs_actors(params.nodes, &params.hs_config());
             Simulation::new(topology, config, actors).run().commits
         }
         _ => unreachable!("demo compares Tusk and Batched-HS"),
@@ -99,7 +98,10 @@ fn main() {
     println!();
     let tusk = run(System::Tusk, duration);
     let batched = run(System::BatchedHs, duration);
-    println!("{:>10} {:>12} {:>12}   (P = partitioned window)", "window", "Tusk", "Batched-HS");
+    println!(
+        "{:>10} {:>12} {:>12}   (P = partitioned window)",
+        "window", "Tusk", "Batched-HS"
+    );
     for (i, (t, b)) in tusk.iter().zip(&batched).enumerate() {
         let start = i as u64 * 5;
         let partitioned = (start % 20) >= 10;

@@ -43,8 +43,7 @@ fn apply(ledger: &mut HashMap<u8, i64>, batch: &Batch) {
         for tx in txs {
             let from = tx.payload[8];
             let to = tx.payload[9];
-            let amount =
-                u32::from_le_bytes(tx.payload[10..14].try_into().expect("4 bytes")) as i64;
+            let amount = u32::from_le_bytes(tx.payload[10..14].try_into().expect("4 bytes")) as i64;
             *ledger.entry(from).or_insert(INITIAL_BALANCE) -= amount;
             *ledger.entry(to).or_insert(INITIAL_BALANCE) += amount;
         }
@@ -111,9 +110,7 @@ fn main() {
         let shortest = ordered_refs.values().map(Vec::len).min().unwrap_or(0);
         if shortest * 2 >= ordered_refs.values().map(Vec::len).max().unwrap_or(0) * 2 {
             // Both views have caught up to the same length.
-            if ordered_refs.len() == 2
-                && ordered_refs[&0].len() == ordered_refs[&1].len()
-            {
+            if ordered_refs.len() == 2 && ordered_refs[&0].len() == ordered_refs[&1].len() {
                 break;
             }
         }

@@ -73,7 +73,10 @@ fn main() {
         "Validator 0 committed {committed_blocks} blocks up to round {highest_round}; \
          {committed_txs}/200 client transactions are in the total order."
     );
-    assert!(committed_txs >= 200, "the committee should commit everything");
+    assert!(
+        committed_txs >= 200,
+        "the committee should commit everything"
+    );
     handle.shutdown();
     println!("Done.");
 }

@@ -42,8 +42,6 @@ fn main() {
         );
     }
     println!();
-    println!(
-        "Throughput scales ~linearly with workers at flat latency: the mempool"
-    );
+    println!("Throughput scales ~linearly with workers at flat latency: the mempool");
     println!("is an embarrassingly parallel dissemination layer (§9).");
 }

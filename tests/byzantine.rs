@@ -36,7 +36,15 @@ fn genesis_parents(committee: &Committee) -> Vec<Digest> {
 fn votes_sent(effects: Vec<Effect<Msg>>) -> usize {
     effects
         .iter()
-        .filter(|e| matches!(e, Effect::Send { msg: narwhal::NarwhalMsg::Vote(_), .. }))
+        .filter(|e| {
+            matches!(
+                e,
+                Effect::Send {
+                    msg: narwhal::NarwhalMsg::Vote(_),
+                    ..
+                }
+            )
+        })
         .count()
 }
 
@@ -86,22 +94,48 @@ fn forged_signature_on_block_is_rejected() {
     use nt_network::Actor;
     let (committee, kps, mut primary) = setup();
     // Validator 2's key signs a block claiming to be from validator 1.
-    let mut forged = Header::new(&kps[2], ValidatorId(1), 1, vec![], genesis_parents(&committee), None);
+    let mut forged = Header::new(
+        &kps[2],
+        ValidatorId(1),
+        1,
+        vec![],
+        genesis_parents(&committee),
+        None,
+    );
     forged.signature = kps[2].sign_digest(&forged.digest());
     let mut ctx = Context::new(1, 0);
     primary.on_message(2, narwhal::NarwhalMsg::Header(forged), &mut ctx);
-    assert_eq!(votes_sent(ctx.drain()), 0, "forged author never gets a vote");
+    assert_eq!(
+        votes_sent(ctx.drain()),
+        0,
+        "forged author never gets a vote"
+    );
 }
 
 #[test]
 fn understaffed_certificate_never_enters_the_dag() {
     let (committee, kps, _) = setup();
-    let header = Header::new(&kps[1], ValidatorId(1), 1, vec![], genesis_parents(&committee), None);
+    let header = Header::new(
+        &kps[1],
+        ValidatorId(1),
+        1,
+        vec![],
+        genesis_parents(&committee),
+        None,
+    );
     // Only 2 votes < quorum of 3: assembly already fails...
     let votes: Vec<Vote> = kps[..2]
         .iter()
         .enumerate()
-        .map(|(i, kp)| Vote::new(kp, ValidatorId(i as u32), header.digest(), 1, ValidatorId(1)))
+        .map(|(i, kp)| {
+            Vote::new(
+                kp,
+                ValidatorId(i as u32),
+                header.digest(),
+                1,
+                ValidatorId(1),
+            )
+        })
         .collect();
     assert!(Certificate::from_votes(&committee, header.clone(), &votes).is_none());
     // ...and a hand-rolled one fails verification.
@@ -115,7 +149,14 @@ fn understaffed_certificate_never_enters_the_dag() {
 #[test]
 fn duplicated_vote_signatures_cannot_fake_a_quorum() {
     let (committee, kps, _) = setup();
-    let header = Header::new(&kps[1], ValidatorId(1), 1, vec![], genesis_parents(&committee), None);
+    let header = Header::new(
+        &kps[1],
+        ValidatorId(1),
+        1,
+        vec![],
+        genesis_parents(&committee),
+        None,
+    );
     let real = Vote::new(&kps[2], ValidatorId(2), header.digest(), 1, ValidatorId(1));
     // One real signature replicated under three voter ids.
     let fake = Certificate {

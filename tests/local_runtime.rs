@@ -89,7 +89,11 @@ fn committed_payload_data_is_retrievable_from_workers() {
         Some((_, NarwhalMsg::BatchResponse { batches })) => {
             assert_eq!(batches.len(), 1);
             use nt_crypto::Hashable;
-            assert_eq!(batches[0].digest(), digest, "integrity: data matches digest");
+            assert_eq!(
+                batches[0].digest(),
+                digest,
+                "integrity: data matches digest"
+            );
         }
         other => panic!("expected batch data, got {other:?}"),
     }

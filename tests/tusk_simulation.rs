@@ -35,8 +35,7 @@ fn committed_sequences(
 }
 
 fn assert_prefix_consistent(seqs: &[Vec<(Round, ValidatorId)>], min_len: usize) {
-    let live: Vec<&Vec<(Round, ValidatorId)>> =
-        seqs.iter().filter(|s| !s.is_empty()).collect();
+    let live: Vec<&Vec<(Round, ValidatorId)>> = seqs.iter().filter(|s| !s.is_empty()).collect();
     assert!(!live.is_empty(), "someone must commit");
     let shortest = live.iter().map(|s| s.len()).min().expect("non-empty");
     assert!(
@@ -138,8 +137,7 @@ fn partition_heals_and_commits_catch_up() {
         seed: 8,
         ..Default::default()
     };
-    let (committee, kps) =
-        Committee::deterministic(nodes, 1, nt_crypto::Scheme::Insecure);
+    let (committee, kps) = Committee::deterministic(nodes, 1, nt_crypto::Scheme::Insecure);
     let actors =
         tusk::build_tusk_actors(&committee, &kps, &params.narwhal_config(), 1, params.seed);
     let topology = narwhal_topology(&params);
@@ -152,9 +150,7 @@ fn partition_heals_and_commits_catch_up() {
         result
             .commits
             .iter()
-            .filter(|(at, node, ev)| {
-                *at >= from && *at < to && ev.author.0 as usize == *node
-            })
+            .filter(|(at, node, ev)| *at >= from && *at < to && ev.author.0 as usize == *node)
             .map(|(_, _, ev)| ev.tx_count)
             .sum()
     };

@@ -1,0 +1,228 @@
+//! Vendored minimal stand-in for `criterion`.
+//!
+//! Implements the subset the bench targets use: `Criterion::default()` with
+//! the `sample_size`/`measurement_time`/`warm_up_time` builders,
+//! `bench_function`, `Bencher::iter`, and the `criterion_group!`/
+//! `criterion_main!` macros. Statistics are deliberately simple (mean and
+//! min/max per sample) — the workspace's figures come from the
+//! discrete-event simulator, not wall-clock criterion numbers; this shim
+//! exists so the micro benches build, run, and report plausible timings.
+//!
+//! Mode selection follows cargo's conventions: `cargo bench` passes
+//! `--bench` to the target, which enables measurement; anything else
+//! (including an explicit `--test` flag, as used by the CI smoke job) runs
+//! every benchmark body exactly once so the target is exercised quickly.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver and configuration.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            // Default to the cheap mode; `configure_from_args` enables
+            // measurement when cargo passes `--bench`.
+            test_mode: true,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Reads the process arguments to pick test vs. measurement mode.
+    pub fn configure_from_args(mut self) -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let has = |flag: &str| args.iter().any(|a| a == flag);
+        self.test_mode = has("--test") || !has("--bench");
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("Testing {id} ... ok");
+            return self;
+        }
+
+        // Warm-up and calibration: double the iteration count until one
+        // batch costs at least ~1/10 of the warm-up budget.
+        let mut iters: u64 = 1;
+        let calibration_floor = (self.warm_up_time / 10).max(Duration::from_micros(50));
+        let warm_up_deadline = Instant::now() + self.warm_up_time;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= calibration_floor || Instant::now() >= warm_up_deadline {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+
+        // Measurement: `sample_size` batches within the time budget.
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let min = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples_ns.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{id:<40} time: [{} {} {}]  ({} samples x {iters} iters)",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max),
+            samples_ns.len(),
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the batch's iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group; both the `name =`/`config =`/`targets =`
+/// form and the positional form are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_each_body_once() {
+        let mut c = Criterion::default(); // test_mode = true
+        let mut calls = 0u32;
+        c.bench_function("noop", |b| {
+            calls += 1;
+            b.iter(|| 1 + 1)
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measurement_mode_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.test_mode = false;
+        let mut calls = 0u32;
+        c.bench_function("count", |b| {
+            calls += 1;
+            b.iter(|| black_box(2u64).pow(10))
+        });
+        assert!(
+            calls > 1,
+            "calibration + samples ran the closure repeatedly"
+        );
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = Criterion::default()
+            .sample_size(20)
+            .measurement_time(Duration::from_secs(2))
+            .warm_up_time(Duration::from_millis(500));
+        assert_eq!(c.sample_size, 20);
+    }
+}

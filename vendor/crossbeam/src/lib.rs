@@ -1,0 +1,127 @@
+//! Vendored minimal stand-in for `crossbeam`.
+//!
+//! Only the `channel` module is provided, implemented over
+//! `std::sync::mpsc`. The semantics the local runtime relies on hold:
+//! `bounded(n)` senders block when the queue is full (backpressure),
+//! `unbounded()` never blocks, sends to a dropped receiver error, and
+//! `recv_timeout` distinguishes timeout from disconnection.
+
+pub mod channel {
+    //! Multi-producer single-consumer channels with the crossbeam API shape.
+
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// The sending half; clonable for both bounded and unbounded channels.
+    pub enum Sender<T> {
+        /// Sender of a [`bounded`] channel (blocks when full).
+        Bounded(mpsc::SyncSender<T>),
+        /// Sender of an [`unbounded`] channel.
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Sender::Bounded(tx) => Sender::Bounded(tx.clone()),
+                Sender::Unbounded(tx) => Sender::Unbounded(tx.clone()),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking if the channel is bounded and full.
+        /// Errors only if the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self {
+                Sender::Bounded(tx) => tx.send(value),
+                Sender::Unbounded(tx) => tx.send(value),
+            }
+        }
+    }
+
+    /// The receiving half.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Blocks up to `timeout` for the next message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Returns immediately with a message if one is queued.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Drains every currently queued message without blocking.
+        pub fn try_iter(&self) -> mpsc::TryIter<'_, T> {
+            self.0.try_iter()
+        }
+    }
+
+    /// Creates a channel holding at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender::Bounded(tx), Receiver(rx))
+    }
+
+    /// Creates a channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender::Unbounded(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn unbounded_roundtrip() {
+            let (tx, rx) = unbounded();
+            tx.send(41u32).unwrap();
+            tx.clone().send(1).unwrap();
+            assert_eq!(rx.recv().unwrap(), 41);
+            assert_eq!(rx.recv().unwrap(), 1);
+        }
+
+        #[test]
+        fn bounded_backpressure_capacity() {
+            let (tx, rx) = bounded(2);
+            tx.send(1u8).unwrap();
+            tx.send(2).unwrap();
+            // A third send would block; drain one first.
+            assert_eq!(rx.recv().unwrap(), 1);
+            tx.send(3).unwrap();
+            assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![2, 3]);
+        }
+
+        #[test]
+        fn recv_timeout_distinguishes_cases() {
+            let (tx, rx) = unbounded::<u8>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn send_to_dropped_receiver_errors() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert!(tx.send(5u8).is_err());
+        }
+    }
+}

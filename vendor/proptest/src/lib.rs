@@ -1,0 +1,533 @@
+//! Vendored minimal stand-in for `proptest`.
+//!
+//! The container this repository builds in cannot reach crates.io, so the
+//! workspace vendors the subset of the proptest API its property tests use:
+//!
+//! - the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! - [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! - [`strategy::Strategy`] with `prop_map`, plus [`strategy::Just`],
+//!   weighted [`prop_oneof!`], tuple strategies, integer/float range
+//!   strategies, and a string strategy for `&str` patterns,
+//! - [`arbitrary::any`] for primitives and byte arrays,
+//! - [`collection::vec`] with range or exact sizes,
+//! - [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case panics with the standard assert
+//!   message; inputs are reproducible because generation is seeded
+//!   deterministically per test (from the test's module path and name).
+//! - **`&str` strategies ignore the regex.** The only pattern the
+//!   workspace uses is `".*"`; the strategy generates arbitrary unicode
+//!   strings, which satisfies it.
+
+/// Strategies: how to generate values of a type.
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::RngExt;
+    use std::ops::Range;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, T> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::boxed`].
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Weighted choice between strategies; built by [`crate::prop_oneof!`].
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from `(weight, strategy)` arms.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            let mut pick = rng.random_range_u64(0, self.total);
+            for (weight, strat) in &self.arms {
+                let weight = u64::from(*weight);
+                if pick < weight {
+                    return strat.generate(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("pick < total by construction")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),*) => {
+            $(impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut SmallRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    self.start + rng.random_range_u64(0, span) as $ty
+                }
+            })*
+        };
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_signed_range_strategy {
+        ($($ty:ty),*) => {
+            $(impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut SmallRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.random_range_u64(0, span) as i128) as $ty
+                }
+            })*
+        };
+    }
+    impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut SmallRng) -> f64 {
+            self.start + rng.random::<f64>() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+
+        fn generate(&self, rng: &mut SmallRng) -> f32 {
+            self.start + rng.random::<f32>() * (self.end - self.start)
+        }
+    }
+
+    /// String strategy: the pattern is treated as "any string" (the only
+    /// pattern used in this workspace is `".*"`).
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut SmallRng) -> String {
+            let len = rng.random_range_u64(0, 32) as usize;
+            (0..len)
+                .map(|_| {
+                    // Mostly printable ASCII with occasional arbitrary
+                    // unicode scalars to exercise multi-byte encoding.
+                    if rng.random_range_u64(0, 4) == 0 {
+                        loop {
+                            let c = rng.random_range_u64(0, 0x11_0000) as u32;
+                            if let Some(c) = char::from_u32(c) {
+                                break c;
+                            }
+                        }
+                    } else {
+                        (0x20 + rng.random_range_u64(0, 0x5f) as u8) as char
+                    }
+                })
+                .collect()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+/// `any::<T>()` — the canonical strategy for a type.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, RngExt};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut SmallRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($ty:ty),*) => {
+            $(impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut SmallRng) -> Self {
+                    rng.random::<$ty>()
+                }
+            })*
+        };
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut SmallRng) -> Self {
+            rng.random::<u128>()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut SmallRng) -> Self {
+            rng.random::<f64>()
+        }
+    }
+
+    impl<const N: usize> Arbitrary for [u8; N] {
+        fn arbitrary(rng: &mut SmallRng) -> Self {
+            let mut out = [0u8; N];
+            rng.fill_bytes(&mut out);
+            out
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Returns the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::RngExt;
+    use std::ops::Range;
+
+    /// A size specification: a half-open range or an exact count.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    /// Strategy generating `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = self.size.min
+                + rng.random_range_u64(0, (self.size.max - self.size.min) as u64) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors whose elements come from `elem` and whose length
+    /// is drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+/// Test-runner configuration and deterministic seeding.
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        /// 64 cases: smaller than upstream's 256 — the shim does not
+        /// shrink, so CI keeps runtime bounded while still sweeping the
+        /// input space. Override per block with `with_cases`.
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic per-test RNG, seeded from the test's identifier (and
+    /// `PROPTEST_SEED` if set, to reproduce or vary runs).
+    pub fn rng_for(test_id: &str) -> SmallRng {
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        for byte in test_id.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+            if let Ok(extra) = extra.parse::<u64>() {
+                seed ^= extra.rotate_left(17);
+            }
+        }
+        SmallRng::seed_from_u64(seed)
+    }
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn` runs `cases` times with fresh inputs
+/// drawn from the strategies after `in`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@body ($cfg) $($rest)*);
+    };
+    (@body ($cfg:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut proptest_rng = $crate::test_runner::rng_for(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for _proptest_case in 0..config.cases {
+                    $(
+                        let $arg = <_ as $crate::strategy::Strategy>::generate(
+                            &($strat),
+                            &mut proptest_rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @body (<$crate::test_runner::ProptestConfig as Default>::default()) $($rest)*
+        );
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Weighted (or uniform) choice between strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof!($(1 => $strat),+)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Op {
+        Put(Vec<u8>),
+        Del,
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, y in -4i64..4, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-4..4).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_respect_spec(
+            ranged in crate::collection::vec(any::<u8>(), 2..5),
+            exact in crate::collection::vec(any::<u8>(), 7),
+        ) {
+            prop_assert!((2..5).contains(&ranged.len()));
+            prop_assert_eq!(exact.len(), 7);
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            pair in (0u32..10, any::<bool>()).prop_map(|(n, b)| (n * 2, b)),
+            arr in any::<[u8; 32]>(),
+        ) {
+            prop_assert!(pair.0 % 2 == 0 && pair.0 < 20);
+            prop_assert_eq!(arr.len(), 32);
+        }
+
+        #[test]
+        fn oneof_weights_cover_all_arms(op in prop_oneof![
+            4 => crate::collection::vec(any::<u8>(), 0..4).prop_map(Op::Put),
+            1 => Just(Op::Del),
+        ]) {
+            match op {
+                Op::Put(v) => prop_assert!(v.len() < 4),
+                Op::Del => {}
+            }
+        }
+
+        #[test]
+        fn string_strategy_yields_valid_strings(s in ".*") {
+            prop_assert!(s.chars().count() <= 32 + 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_override_parses(v in any::<u64>()) {
+            let _ = v;
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(any::<u64>(), 0..16);
+        let mut a = crate::test_runner::rng_for("module::test");
+        let mut b = crate::test_runner::rng_for("module::test");
+        for _ in 0..32 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+}
