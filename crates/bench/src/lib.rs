@@ -10,6 +10,7 @@
 //! | `fig8_faults` | Figure 8 (crash faults) |
 //! | `table1_matrix` | Table 1 (latency/robustness matrix) |
 //! | `ablation_dag_rider` | §5/§8.2 wave-size ablation |
+//! | `ablation_bullshark` | Bullshark vs Tusk commit-latency ablation |
 //! | `ablation_gc_memory` | §3.3 memory-bound ablation |
 //! | `ablation_commit_lemmas` | Lemmas 3-5 statistics |
 //! | `micro` | criterion micro-benchmarks (crypto, codec, DAG ops) |
@@ -25,7 +26,7 @@ pub mod runner;
 pub mod runner_hs;
 pub mod table;
 
-pub use metrics::RunStats;
+pub use metrics::{committed_sequences, sequences_prefix_consistent, RunStats};
 pub use params::BenchParams;
-pub use runner::{run_system, System};
+pub use runner::{build_dag_actors, run_actors_result, run_system, System};
 pub use table::print_series;

@@ -8,8 +8,8 @@
 
 use nt_network::{NodeId, Time, SEC};
 use nt_simnet::SimResult;
-use nt_types::CommitEvent;
-use std::collections::HashSet;
+use nt_types::{CommitEvent, Round, ValidatorId};
+use std::collections::{HashMap, HashSet};
 
 /// Aggregated statistics from one run.
 #[derive(Clone, Debug, Default)]
@@ -26,6 +26,17 @@ pub struct RunStats {
     pub p99_latency_s: f64,
     /// Mean rounds between a block's round and the anchor that committed it.
     pub commit_rounds: f64,
+    /// Mean rounds between a block's round and the emitting validator's
+    /// DAG head when the commit was *decided* — the end-to-end commit
+    /// depth. Tusk decides a wave one round after Bullshark does (coin
+    /// reveal vs voting round), and this column is where that shows.
+    pub decision_rounds: f64,
+    /// Mean per-validator count of anchors committed directly (by vote
+    /// quorum); 0 for protocols without the distinction.
+    pub direct_commits: f64,
+    /// Mean per-validator count of anchors committed indirectly (via the
+    /// recursive path rule).
+    pub indirect_commits: f64,
     /// Total committed transactions over the whole run.
     pub total_txs: u64,
     /// Number of latency samples observed.
@@ -53,9 +64,20 @@ impl RunStats {
         let mut latencies: Vec<f64> = Vec::new();
         let mut seen_samples: HashSet<u64> = HashSet::new();
         let mut round_gaps: Vec<f64> = Vec::new();
+        let mut decision_gaps: Vec<f64> = Vec::new();
+        // Cumulative per-validator commit counters: the last event a node
+        // emits carries its final (direct, indirect) totals.
+        let mut counter_finals: HashMap<NodeId, (u64, u64)> = HashMap::new();
 
         for (at, node, ev) in commits {
             total_txs += ev.tx_count;
+            counter_finals
+                .entry(*node)
+                .and_modify(|(d, i)| {
+                    *d = (*d).max(ev.direct_commits);
+                    *i = (*i).max(ev.indirect_commits);
+                })
+                .or_insert((ev.direct_commits, ev.indirect_commits));
             // A batch creator's commit event is emitted by the creator's own
             // primary: count it once (node == author's primary by layout).
             if *at < warmup || *at > duration {
@@ -73,9 +95,28 @@ impl RunStats {
                 if ev.anchor_round >= ev.round {
                     round_gaps.push((ev.anchor_round - ev.round) as f64);
                 }
+                if ev.decided_round >= ev.round {
+                    decision_gaps.push((ev.decided_round - ev.round) as f64);
+                }
             }
         }
         let _ = expected_creators;
+        let mean = |xs: &[f64]| -> f64 {
+            if xs.is_empty() {
+                f64::NAN
+            } else {
+                xs.iter().sum::<f64>() / xs.len() as f64
+            }
+        };
+        let (direct_commits, indirect_commits) = if counter_finals.is_empty() {
+            (0.0, 0.0)
+        } else {
+            let n = counter_finals.len() as f64;
+            (
+                counter_finals.values().map(|(d, _)| *d as f64).sum::<f64>() / n,
+                counter_finals.values().map(|(_, i)| *i as f64).sum::<f64>() / n,
+            )
+        };
 
         latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let pct = |p: f64| -> f64 {
@@ -88,18 +129,13 @@ impl RunStats {
         RunStats {
             throughput_tps: total_txs_window as f64 / window_s,
             throughput_mbs: total_bytes_window as f64 / window_s / 1e6,
-            avg_latency_s: if latencies.is_empty() {
-                f64::NAN
-            } else {
-                latencies.iter().sum::<f64>() / latencies.len() as f64
-            },
+            avg_latency_s: mean(&latencies),
             p50_latency_s: pct(0.50),
             p99_latency_s: pct(0.99),
-            commit_rounds: if round_gaps.is_empty() {
-                f64::NAN
-            } else {
-                round_gaps.iter().sum::<f64>() / round_gaps.len() as f64
-            },
+            commit_rounds: mean(&round_gaps),
+            decision_rounds: mean(&decision_gaps),
+            direct_commits,
+            indirect_commits,
             total_txs,
             samples: latencies.len(),
         }
@@ -109,6 +145,41 @@ impl RunStats {
     pub fn from_result(result: &SimResult, duration: Time, creators: usize) -> RunStats {
         Self::from_commits(&result.commits, duration, creators)
     }
+}
+
+/// Per-validator committed `(round, author)` sequences, in commit order.
+///
+/// Only the first `nodes` hosts (the primaries, by [`narwhal::AddressBook`]
+/// layout) emit consensus commits; each sequence is one validator's local
+/// total order of block identities.
+pub fn committed_sequences(
+    commits: &[(Time, NodeId, CommitEvent)],
+    nodes: usize,
+) -> Vec<Vec<(Round, ValidatorId)>> {
+    let mut seqs = vec![Vec::new(); nodes];
+    for (_, node, ev) in commits {
+        if *node < nodes {
+            seqs[*node].push((ev.round, ev.author));
+        }
+    }
+    seqs
+}
+
+/// True if every pair of non-empty sequences agrees on their common prefix
+/// — the agreement check the partition/heal scenarios assert.
+pub fn sequences_prefix_consistent(seqs: &[Vec<(Round, ValidatorId)>]) -> bool {
+    let live: Vec<&Vec<(Round, ValidatorId)>> = seqs.iter().filter(|s| !s.is_empty()).collect();
+    // All pairs: prefix agreement is not transitive through a short
+    // middle sequence, so adjacent checks would not suffice.
+    for (i, a) in live.iter().enumerate() {
+        for b in &live[i + 1..] {
+            let common = a.len().min(b.len());
+            if a[..common] != b[..common] {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 #[cfg(test)]
@@ -182,5 +253,84 @@ mod tests {
             (stats.p50_latency_s - 1.0).abs() < 1e-9 || (stats.p50_latency_s - 3.0).abs() < 1e-9
         );
         assert!((stats.commit_rounds - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn commit_counters_average_per_validator_finals() {
+        let mk = |node: usize, direct, indirect| {
+            (
+                6 * SEC,
+                node,
+                CommitEvent {
+                    author: ValidatorId(node as u32),
+                    direct_commits: direct,
+                    indirect_commits: indirect,
+                    ..Default::default()
+                },
+            )
+        };
+        // Counters are cumulative: only each node's final value counts.
+        let commits = vec![mk(0, 2, 0), mk(0, 5, 1), mk(1, 3, 3)];
+        let stats = RunStats::from_commits(&commits, 10 * SEC, 2);
+        assert!((stats.direct_commits - 4.0).abs() < 1e-9, "(5 + 3) / 2");
+        assert!((stats.indirect_commits - 2.0).abs() < 1e-9, "(1 + 3) / 2");
+    }
+
+    #[test]
+    fn decision_rounds_measure_depth_at_decision_time() {
+        let mk = |round, decided| {
+            (
+                6 * SEC,
+                0usize,
+                CommitEvent {
+                    author: ValidatorId(0),
+                    round,
+                    anchor_round: round,
+                    decided_round: decided,
+                    ..Default::default()
+                },
+            )
+        };
+        let commits = vec![mk(3, 5), mk(4, 5), mk(5, 6)];
+        let stats = RunStats::from_commits(&commits, 10 * SEC, 1);
+        assert!((stats.decision_rounds - (2.0 + 1.0 + 1.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sequence_helpers_detect_divergence() {
+        let ev_at = |node: usize, round, author| {
+            (
+                SEC,
+                node,
+                CommitEvent {
+                    round,
+                    author: ValidatorId(author),
+                    ..Default::default()
+                },
+            )
+        };
+        let commits = vec![
+            ev_at(0, 1, 0),
+            ev_at(0, 3, 1),
+            ev_at(1, 1, 0),
+            ev_at(2, 1, 0), // worker node id: ignored given nodes = 2
+        ];
+        let seqs = committed_sequences(&commits, 2);
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[0], vec![(1, ValidatorId(0)), (3, ValidatorId(1))]);
+        assert!(sequences_prefix_consistent(&seqs), "shorter view agrees");
+        let diverged = vec![
+            vec![(1, ValidatorId(0)), (3, ValidatorId(1))],
+            vec![(1, ValidatorId(0)), (3, ValidatorId(2))],
+        ];
+        assert!(!sequences_prefix_consistent(&diverged));
+        // Non-transitivity guard: a short middle sequence must not mask a
+        // first/last divergence.
+        let masked = vec![
+            vec![(1, ValidatorId(0)), (3, ValidatorId(1))],
+            vec![(1, ValidatorId(0))],
+            vec![(1, ValidatorId(0)), (3, ValidatorId(2))],
+        ];
+        assert!(!sequences_prefix_consistent(&masked));
     }
 }

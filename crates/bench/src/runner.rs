@@ -8,13 +8,19 @@ use nt_network::{Actor, NodeId, Time};
 use nt_simnet::{HostSpec, Partition, Region, SimConfig, SimMessage, Simulation, Topology};
 use nt_types::Committee;
 
-/// The systems of the paper's evaluation (§6, §7).
+/// The systems of the paper's evaluation (§6, §7), plus the follow-up
+/// protocols layered over the same mempool.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum System {
     /// Narwhal mempool + Tusk asynchronous consensus (§5).
     Tusk,
     /// Narwhal mempool + DAG-Rider (4-round waves; §8.2 ablation).
     DagRider,
+    /// Narwhal mempool + partially-synchronous Bullshark (2-round waves,
+    /// round-robin leaders).
+    Bullshark,
+    /// Bullshark with the Shoal-style leader-reputation schedule.
+    BullsharkRep,
     /// Narwhal mempool + HotStuff ordering certificates (§3.2).
     NarwhalHs,
     /// Prism-style batched mempool + HotStuff (§6 "Batched-HS").
@@ -29,6 +35,8 @@ impl System {
         match self {
             System::Tusk => "Tusk",
             System::DagRider => "DAG-Rider",
+            System::Bullshark => "Bullshark",
+            System::BullsharkRep => "Bullshark-Rep",
             System::NarwhalHs => "Narwhal-HS",
             System::BatchedHs => "Batched-HS",
             System::BaselineHs => "Baseline-HS",
@@ -72,12 +80,36 @@ pub fn crash_schedule(params: &BenchParams) -> Vec<(NodeId, Time)> {
     crashes
 }
 
+/// A partition splitting the first `nodes / 2` validators (with their
+/// workers) from the rest during `[from, until)` — both sides below
+/// quorum. Host ids follow the [`AddressBook`] layout, same as
+/// [`narwhal_topology`] and [`crash_schedule`].
+pub fn split_partition(nodes: usize, workers: u32, from: Time, until: Time) -> Partition {
+    let addr = AddressBook::new(nodes, workers);
+    let hosts = |v: usize| -> Vec<NodeId> {
+        let validator = nt_types::ValidatorId(v as u32);
+        let mut ids = vec![addr.primary(validator)];
+        for w in 0..workers {
+            ids.push(addr.worker(validator, nt_types::WorkerId(w)));
+        }
+        ids
+    };
+    Partition {
+        group_a: (0..nodes / 2).flat_map(hosts).collect(),
+        group_b: (nodes / 2..nodes).flat_map(hosts).collect(),
+        from,
+        until,
+    }
+}
+
 /// Runs `system` under `params` and returns aggregate statistics.
 ///
 /// `partitions` optionally scripts periods of asynchrony (Table 1).
 pub fn run_system(system: System, params: &BenchParams, partitions: Vec<Partition>) -> RunStats {
     match system {
-        System::Tusk | System::DagRider => run_dag_system(system, params, partitions),
+        System::Tusk | System::DagRider | System::Bullshark | System::BullsharkRep => {
+            run_dag_system(system, params, partitions)
+        }
         // The HotStuff arms are wired in `runner_hs` (see below).
         System::NarwhalHs => crate::runner_hs::run_narwhal_hs(params, partitions),
         System::BatchedHs => crate::runner_hs::run_batched_hs(params, partitions),
@@ -85,17 +117,33 @@ pub fn run_system(system: System, params: &BenchParams, partitions: Vec<Partitio
     }
 }
 
-fn run_dag_system(system: System, params: &BenchParams, partitions: Vec<Partition>) -> RunStats {
+/// Builds the actor set of a DAG-over-Narwhal system (Tusk, DAG-Rider, or
+/// Bullshark — all share the `NarwhalMsg<NoExt>` wire type).
+///
+/// Panics for the HotStuff systems, whose actors speak different messages.
+pub fn build_dag_actors(
+    system: System,
+    params: &BenchParams,
+) -> Vec<Box<dyn Actor<Message = tusk::TuskMsg>>> {
     let (committee, kps) = Committee::deterministic(params.nodes, params.workers, Scheme::Insecure);
     let config = params.narwhal_config();
-    let actors: Vec<Box<dyn Actor<Message = tusk::TuskMsg>>> = match system {
+    match system {
         System::Tusk => {
             tusk::build_tusk_actors(&committee, &kps, &config, params.workers, params.seed)
         }
         System::DagRider => build_dag_rider_actors(&committee, &kps, &config, params),
-        _ => unreachable!("dag systems only"),
-    };
-    run_actors(actors, params, partitions)
+        System::Bullshark => {
+            bullshark::build_bullshark_rr_actors(&committee, &kps, &config, params.workers)
+        }
+        System::BullsharkRep => {
+            bullshark::build_bullshark_rep_actors(&committee, &kps, &config, params.workers)
+        }
+        _ => panic!("{} is not a DAG-over-Narwhal system", system.name()),
+    }
+}
+
+fn run_dag_system(system: System, params: &BenchParams, partitions: Vec<Partition>) -> RunStats {
+    run_actors(build_dag_actors(system, params), params, partitions)
 }
 
 fn build_dag_rider_actors(
@@ -136,13 +184,23 @@ pub fn run_actors<M: SimMessage>(
     params: &BenchParams,
     partitions: Vec<Partition>,
 ) -> RunStats {
+    let result = run_actors_result(actors, params, partitions);
+    RunStats::from_result(&result, params.duration, params.nodes)
+}
+
+/// Like [`run_actors`], but returns the raw [`nt_simnet::SimResult`] so
+/// callers can inspect the per-validator commit streams (e.g. the
+/// partition/heal agreement checks).
+pub fn run_actors_result<M: SimMessage>(
+    actors: Vec<Box<dyn Actor<Message = M>>>,
+    params: &BenchParams,
+    partitions: Vec<Partition>,
+) -> nt_simnet::SimResult {
     let topology = narwhal_topology(params);
     let mut config = SimConfig::new(params.seed, params.duration);
     config.crashes = crash_schedule(params);
     config.partitions = partitions;
-    let sim = Simulation::new(topology, config, actors);
-    let result = sim.run();
-    RunStats::from_result(&result, params.duration, params.nodes)
+    Simulation::new(topology, config, actors).run()
 }
 
 #[cfg(test)]
@@ -170,6 +228,53 @@ mod tests {
             stats.avg_latency_s > 0.1 && stats.avg_latency_s < 10.0,
             "plausible WAN latency, got {:.2}s",
             stats.avg_latency_s
+        );
+    }
+
+    #[test]
+    fn bullshark_smoke_commits_with_lower_depth_than_tusk() {
+        let params = BenchParams {
+            nodes: 4,
+            workers: 1,
+            rate: 2_000.0,
+            duration: 20 * SEC,
+            seed: 3,
+            ..Default::default()
+        };
+        let bull = run_system(System::Bullshark, &params, vec![]);
+        let tusk = run_system(System::Tusk, &params, vec![]);
+        assert!(
+            bull.throughput_tps > 1_000.0,
+            "committed ~input rate, got {:.0} tps",
+            bull.throughput_tps
+        );
+        assert!(
+            bull.direct_commits > 0.0,
+            "direct commits surface in RunStats"
+        );
+        assert!(
+            bull.decision_rounds < tusk.decision_rounds,
+            "2-round waves decide earlier than coin waves: {:.2} vs {:.2}",
+            bull.decision_rounds,
+            tusk.decision_rounds
+        );
+    }
+
+    #[test]
+    fn bullshark_reputation_smoke_commits() {
+        let params = BenchParams {
+            nodes: 4,
+            workers: 1,
+            rate: 2_000.0,
+            duration: 20 * SEC,
+            seed: 5,
+            ..Default::default()
+        };
+        let stats = run_system(System::BullsharkRep, &params, vec![]);
+        assert!(
+            stats.throughput_tps > 1_000.0,
+            "{:.0}",
+            stats.throughput_tps
         );
     }
 

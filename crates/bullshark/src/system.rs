@@ -1,0 +1,105 @@
+//! Deployment assembly for Narwhal + Bullshark validators.
+
+use narwhal::{AddressBook, NarwhalConfig, NarwhalMsg, NoExt, Primary, Worker};
+use nt_crypto::KeyPair;
+use nt_network::Actor;
+use nt_types::{Committee, ValidatorId, WorkerId};
+
+use crate::bullshark::Bullshark;
+use crate::schedule::{LeaderSchedule, Reputation, RoundRobin};
+
+/// The wire message type of a Bullshark deployment: like Tusk, Bullshark
+/// sends no messages beyond Narwhal's.
+pub type BullsharkMsg = NarwhalMsg<NoExt>;
+
+/// Builds the actors of a full Narwhal+Bullshark deployment in
+/// [`AddressBook`] node order: primaries `0..n`, then `workers` workers per
+/// validator.
+///
+/// `schedule` is cloned into every primary: all validators must start from
+/// identical schedule state (see [`LeaderSchedule`]).
+pub fn build_bullshark_actors<S>(
+    committee: &Committee,
+    keypairs: &[KeyPair],
+    config: &NarwhalConfig,
+    workers: u32,
+    schedule: S,
+) -> Vec<Box<dyn Actor<Message = BullsharkMsg>>>
+where
+    S: LeaderSchedule + Clone + 'static,
+{
+    let n = committee.size();
+    let addr = AddressBook::new(n, workers);
+    let mut actors: Vec<Box<dyn Actor<Message = BullsharkMsg>>> = Vec::new();
+    for v in 0..n as u32 {
+        let bullshark = Bullshark::new(committee.clone(), schedule.clone());
+        actors.push(Box::new(Primary::new(
+            committee.clone(),
+            config.clone(),
+            addr,
+            ValidatorId(v),
+            keypairs[v as usize].clone(),
+            bullshark,
+        )));
+    }
+    for v in 0..n as u32 {
+        for w in 0..workers {
+            actors.push(Box::new(Worker::<NoExt>::new(
+                committee.clone(),
+                config.clone(),
+                addr,
+                ValidatorId(v),
+                WorkerId(w),
+            )));
+        }
+    }
+    actors
+}
+
+/// [`build_bullshark_actors`] with the paper-baseline round-robin schedule.
+pub fn build_bullshark_rr_actors(
+    committee: &Committee,
+    keypairs: &[KeyPair],
+    config: &NarwhalConfig,
+    workers: u32,
+) -> Vec<Box<dyn Actor<Message = BullsharkMsg>>> {
+    build_bullshark_actors(
+        committee,
+        keypairs,
+        config,
+        workers,
+        RoundRobin::new(committee),
+    )
+}
+
+/// [`build_bullshark_actors`] with the Shoal-style reputation schedule.
+pub fn build_bullshark_rep_actors(
+    committee: &Committee,
+    keypairs: &[KeyPair],
+    config: &NarwhalConfig,
+    workers: u32,
+) -> Vec<Box<dyn Actor<Message = BullsharkMsg>>> {
+    build_bullshark_actors(
+        committee,
+        keypairs,
+        config,
+        workers,
+        Reputation::new(committee),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_crypto::Scheme;
+
+    #[test]
+    fn actor_count_matches_layout() {
+        let (committee, kps) = Committee::deterministic(4, 1, Scheme::Insecure);
+        let config = NarwhalConfig::with_load(1000.0);
+        let actors = build_bullshark_rr_actors(&committee, &kps, &config, 2);
+        assert_eq!(actors.len(), AddressBook::new(4, 2).total_hosts());
+        let actors = build_bullshark_rep_actors(&committee, &kps, &config, 1);
+        assert_eq!(actors.len(), AddressBook::new(4, 1).total_hosts());
+    }
+}

@@ -10,7 +10,7 @@
 
 use crate::dag::Dag;
 use nt_network::Time;
-use nt_types::{Certificate, ValidatorId};
+use nt_types::{Certificate, Round, ValidatorId};
 
 /// Effects a consensus module can request.
 pub struct ConsensusOut<Ext> {
@@ -72,6 +72,32 @@ pub trait DagConsensus: Send {
     /// Called when a consensus timer fires.
     fn on_timer(&mut self, tag: u64, dag: &Dag, out: &mut ConsensusOut<Self::Ext>) {
         let _ = (tag, dag, out);
+    }
+
+    /// Cumulative `(direct, indirect)` anchor-commit counts, for metrics.
+    ///
+    /// DAG protocols distinguish anchors committed by their own vote
+    /// quorum (*direct*) from anchors ordered retroactively through the
+    /// recursive path rule (*indirect*); the primary stamps both counters
+    /// onto every [`nt_types::CommitEvent`] so benches can report the mix.
+    /// Protocols without the distinction keep the `(0, 0)` default.
+    fn commit_counts(&self) -> (u64, u64) {
+        (0, 0)
+    }
+
+    /// Parents the protocol would like present before the primary proposes
+    /// its `round` block, as `(round - 1, author)` slots.
+    ///
+    /// This is the partial-synchrony hook: Bullshark-style protocols wait
+    /// for the wave leader's certificate so voting-round blocks reference
+    /// it and the leader commits in two rounds. It is purely a timing
+    /// hint — the primary waits at most its header deadline (the same
+    /// bound it applies to payload), then proposes without the wish, so
+    /// liveness and safety never depend on it. The default waits for
+    /// nothing.
+    fn parent_wishes(&self, dag: &Dag, round: Round) -> Vec<(Round, ValidatorId)> {
+        let _ = (dag, round);
+        Vec::new()
     }
 }
 

@@ -253,12 +253,16 @@ impl<C: DagConsensus> Primary<C> {
         let digest = cert.header_digest();
         self.ordered.insert(digest);
         self.sequence += 1;
+        let (direct_commits, indirect_commits) = self.consensus.commit_counts();
         let mut event = CommitEvent {
             sequence: self.sequence,
             round: cert.round(),
             author: cert.origin(),
             anchor_round,
             payload: cert.header.payload.clone(),
+            decided_round: self.dag.highest_round(),
+            direct_commits,
+            indirect_commits,
             ..Default::default()
         };
         if cert.origin() == self.me {
@@ -395,12 +399,22 @@ impl<C: DagConsensus> Primary<C> {
         if self.dag.round_size(self.round - 1) < self.committee.quorum_threshold() {
             return;
         }
-        // Wait for payload, but never beyond max_header_delay: empty blocks
-        // keep the DAG and consensus advancing.
+        // Wait for payload — and for any parents the consensus protocol
+        // wishes to reference (partial synchrony: Bullshark waits for the
+        // wave leader so it commits in two rounds) — but never beyond
+        // max_header_delay: empty or leaderless blocks keep the DAG and
+        // consensus advancing.
         let deadline = self.round_entered + self.config.max_header_delay;
-        if self.pending_digests.is_empty() && ctx.now() < deadline {
-            ctx.timer(deadline - ctx.now(), TAG_PROPOSE);
-            return;
+        if ctx.now() < deadline {
+            let awaiting_parent = self
+                .consensus
+                .parent_wishes(&self.dag, self.round)
+                .into_iter()
+                .any(|(round, author)| self.dag.get(round, author).is_none());
+            if self.pending_digests.is_empty() || awaiting_parent {
+                ctx.timer(deadline - ctx.now(), TAG_PROPOSE);
+                return;
+            }
         }
         let parents: Vec<Digest> = self
             .dag

@@ -22,6 +22,10 @@ pub struct DagRider {
     committee: Committee,
     domain: u64,
     last_committed_wave: u64,
+    /// Count of directly committed leaders (metrics).
+    direct_commits: u64,
+    /// Count of leaders committed via the recursive path rule (metrics).
+    indirect_commits: u64,
 }
 
 impl DagRider {
@@ -31,6 +35,8 @@ impl DagRider {
             committee,
             domain,
             last_committed_wave: 0,
+            direct_commits: 0,
+            indirect_commits: 0,
         }
     }
 
@@ -88,6 +94,8 @@ impl DagRider {
                             }
                         }
                     }
+                    self.direct_commits += 1;
+                    self.indirect_commits += (chain.len() - 1) as u64;
                     chain.reverse();
                     anchors.extend(chain);
                     self.last_committed_wave = wave;
@@ -105,6 +113,10 @@ impl DagConsensus for DagRider {
     fn on_certificate(&mut self, dag: &Dag, cert: &Certificate, out: &mut ConsensusOut<NoExt>) {
         let _ = cert;
         out.anchors.extend(self.try_decide(dag));
+    }
+
+    fn commit_counts(&self) -> (u64, u64) {
+        (self.direct_commits, self.indirect_commits)
     }
 }
 

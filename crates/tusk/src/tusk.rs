@@ -48,9 +48,11 @@ impl Tusk {
         }
     }
 
-    /// First round of wave `w`.
+    /// First round of wave `w` (wave numbering starts at 1; wave 0 is the
+    /// genesis fiction and has no rounds).
     pub fn proposal_round(w: u64) -> Round {
-        2 * w - 1
+        debug_assert!(w >= 1, "wave numbering starts at 1");
+        (2 * w).saturating_sub(1)
     }
 
     /// Second (voting) round of wave `w`.
@@ -66,6 +68,16 @@ impl Tusk {
     /// `(direct, indirect)` commit counts (metrics).
     pub fn commit_counts(&self) -> (u64, u64) {
         (self.direct_commits, self.indirect_commits)
+    }
+
+    /// Leaders committed by their own `f + 1` vote quorum (metrics).
+    pub fn direct_commits(&self) -> u64 {
+        self.direct_commits
+    }
+
+    /// Leaders committed via the recursive path rule (metrics).
+    pub fn indirect_commits(&self) -> u64 {
+        self.indirect_commits
     }
 
     /// The leader elected for `wave`, if its coin is revealed and the
@@ -147,6 +159,10 @@ impl DagConsensus for Tusk {
         // about: `try_decide` is idempotent and strictly forward-moving.
         let _ = cert;
         out.anchors.extend(self.try_decide(dag));
+    }
+
+    fn commit_counts(&self) -> (u64, u64) {
+        (self.direct_commits, self.indirect_commits)
     }
 }
 
@@ -248,6 +264,35 @@ mod tests {
         // Piggybacking: wave 2 starts at wave 1's coin round.
         assert_eq!(Tusk::proposal_round(2), 3);
         assert_eq!(Tusk::coin_round(2), 5);
+    }
+
+    /// Regression: `proposal_round(0)` used to compute `2 * 0 - 1`,
+    /// panicking in debug and wrapping to `u64::MAX` in release. Waves are
+    /// numbered from 1, so wave 0 now trips the `debug_assert` guard...
+    #[test]
+    #[should_panic(expected = "wave numbering starts at 1")]
+    #[cfg(debug_assertions)]
+    fn proposal_round_zero_is_rejected_in_debug() {
+        Tusk::proposal_round(0);
+    }
+
+    /// ...and saturates to round 0 instead of wrapping in release.
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn proposal_round_zero_saturates_in_release() {
+        assert_eq!(Tusk::proposal_round(0), 0);
+    }
+
+    #[test]
+    fn commit_count_accessors_expose_the_metrics() {
+        let mut d = Driver::new(4, 7);
+        for r in 1..=9 {
+            d.full_round(r);
+        }
+        // Fully connected 9 rounds: waves 1..=4 all commit directly (see
+        // `commits_leader_every_wave_in_full_dag`).
+        assert_eq!(d.tusk.direct_commits(), 4);
+        assert_eq!(d.tusk.indirect_commits(), 0);
     }
 
     #[test]

@@ -34,6 +34,18 @@ pub struct CommitEvent {
     /// certificates irrevocably indicate which worker holds the
     /// transaction data").
     pub payload: Vec<(Digest, WorkerId)>,
+    /// The emitting validator's highest DAG round when this block was
+    /// ordered — the round the commit *decision* became possible locally.
+    /// `decided_round - round` measures commit depth in rounds: Tusk
+    /// decides a wave one round after its coin reveal, Bullshark at the
+    /// wave's voting round, and this field makes that gap observable.
+    pub decided_round: Round,
+    /// Cumulative count of anchors the emitting validator committed
+    /// directly (by vote quorum) up to and including this event.
+    pub direct_commits: u64,
+    /// Cumulative count of anchors committed indirectly (via the recursive
+    /// path rule) up to and including this event.
+    pub indirect_commits: u64,
 }
 
 impl CommitEvent {

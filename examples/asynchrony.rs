@@ -13,31 +13,17 @@
 //! cargo run --release --example asynchrony
 //! ```
 
-use nt_bench::runner::{crash_schedule, narwhal_topology};
+use nt_bench::runner::{crash_schedule, narwhal_topology, split_partition};
 use nt_bench::{BenchParams, System};
-use nt_network::{NodeId, SEC};
+use nt_network::SEC;
 use nt_simnet::{Partition, SimConfig, Simulation};
 
 fn partitions(nodes: usize, workers: u32, duration: u64) -> Vec<Partition> {
-    let hosts = |v: usize| -> Vec<NodeId> {
-        let mut ids = vec![v];
-        for w in 0..workers {
-            ids.push(nodes + v * workers as usize + w as usize);
-        }
-        ids
-    };
-    let half_a: Vec<NodeId> = (0..nodes / 2).flat_map(hosts).collect();
-    let half_b: Vec<NodeId> = (nodes / 2..nodes).flat_map(hosts).collect();
-    // 10 s calm, then 10 s partitioned, repeating.
+    // 10 s calm, then 10 s partitioned (committee split 5/5), repeating.
     let mut out = Vec::new();
     let mut t = 10 * SEC;
     while t < duration * SEC {
-        out.push(Partition {
-            group_a: half_a.clone(),
-            group_b: half_b.clone(),
-            from: t,
-            until: t + 10 * SEC,
-        });
+        out.push(split_partition(nodes, workers, t, t + 10 * SEC));
         t += 20 * SEC;
     }
     out
@@ -53,7 +39,11 @@ fn run(system: System, duration: u64) -> Vec<u64> {
         ..Default::default()
     };
     let workers = match system {
-        System::Tusk | System::NarwhalHs | System::DagRider => 1,
+        System::Tusk
+        | System::NarwhalHs
+        | System::DagRider
+        | System::Bullshark
+        | System::BullsharkRep => 1,
         _ => 0,
     };
     let actors_params = BenchParams {

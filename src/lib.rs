@@ -15,9 +15,12 @@
 //! - [`simnet`]: the deterministic discrete-event WAN simulator.
 //! - [`narwhal`]: the Narwhal mempool (primary, workers, synchronizer, GC).
 //! - [`tusk`]: the Tusk asynchronous consensus (and the DAG-Rider variant).
+//! - [`bullshark`]: partially-synchronous Bullshark with pluggable leader
+//!   schedules (round-robin, Shoal-style reputation).
 //! - [`hotstuff`]: chained HotStuff with baseline/batched/Narwhal mempools.
 //! - `bench`: workload generation, metrics, and the experiment runner.
 
+pub use bullshark;
 pub use narwhal;
 pub use nt_bench as bench;
 pub use nt_codec as codec;
