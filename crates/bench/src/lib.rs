@@ -28,5 +28,8 @@ pub mod table;
 
 pub use metrics::{committed_sequences, sequences_prefix_consistent, RunStats};
 pub use params::BenchParams;
-pub use runner::{build_dag_actors, run_actors_result, run_system, System};
+pub use runner::{
+    build_dag_actor_factories, build_dag_actors, run_actors_result, run_factories_result,
+    run_system, validator_hosts, System,
+};
 pub use table::print_series;

@@ -30,6 +30,7 @@
 
 use crate::schedule::LeaderSchedule;
 use narwhal::{ConsensusOut, Dag, DagConsensus, NoExt};
+use nt_codec::{decode_from_slice, encode_to_vec};
 use nt_types::{Certificate, Committee, Round, ValidatorId};
 
 /// Bullshark consensus state, generic over the leader schedule.
@@ -177,6 +178,32 @@ impl<S: LeaderSchedule> DagConsensus for Bullshark<S> {
 
     fn commit_counts(&self) -> (u64, u64) {
         (self.direct_commits, self.indirect_commits)
+    }
+
+    /// Settled wave, commit counters, and the schedule's recorded history.
+    /// The schedule blob matters most: a restarted validator resumes at
+    /// `settled_wave + 1` without replaying the settled instances, so a
+    /// reputation schedule reset to defaults would rank leaders differently
+    /// from the rest of the committee.
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        Some(encode_to_vec(&(
+            (
+                self.settled_wave,
+                self.direct_commits,
+                self.indirect_commits,
+            ),
+            self.schedule.checkpoint(),
+        )))
+    }
+
+    fn restore(&mut self, checkpoint: &[u8]) {
+        type Blob = ((u64, u64, u64), Vec<u8>);
+        if let Ok(((wave, direct, indirect), schedule)) = decode_from_slice::<Blob>(checkpoint) {
+            self.settled_wave = wave;
+            self.direct_commits = direct;
+            self.indirect_commits = indirect;
+            self.schedule.restore(&schedule);
+        }
     }
 
     /// The partial-synchrony half of the protocol: before proposing a

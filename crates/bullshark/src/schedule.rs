@@ -37,6 +37,23 @@ pub trait LeaderSchedule: Send {
     fn record(&mut self, wave: u64, leader: ValidatorId, committed: bool) {
         let _ = (wave, leader, committed);
     }
+
+    /// Serializes the schedule's recorded history for the crash checkpoint.
+    ///
+    /// Stateful schedules must implement this pair: Bullshark restores the
+    /// settled wave *without* replaying the settled instances, so a
+    /// schedule restored to its default state would assign different
+    /// leaders than the rest of the committee — a safety violation.
+    /// Stateless schedules keep the empty default.
+    fn checkpoint(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state produced by [`LeaderSchedule::checkpoint`]. Invalid
+    /// blobs are ignored (the schedule keeps its current state).
+    fn restore(&mut self, checkpoint: &[u8]) {
+        let _ = checkpoint;
+    }
 }
 
 /// Rotates leaders over the whole committee: wave `w` is led by validator
@@ -128,6 +145,23 @@ impl LeaderSchedule for Reputation {
         };
         let score = &mut self.scores[leader.0 as usize];
         *score = (*score + delta).clamp(-SCORE_CLAMP, SCORE_CLAMP);
+        self.rerank();
+    }
+
+    /// Scores are the whole history-dependent state; the ranking is
+    /// re-derived on restore.
+    fn checkpoint(&self) -> Vec<u8> {
+        nt_codec::encode_to_vec(&self.scores.iter().map(|s| *s as u64).collect::<Vec<u64>>())
+    }
+
+    fn restore(&mut self, checkpoint: &[u8]) {
+        let Ok(scores) = nt_codec::decode_from_slice::<Vec<u64>>(checkpoint) else {
+            return;
+        };
+        if scores.len() != self.scores.len() {
+            return;
+        }
+        self.scores = scores.into_iter().map(|s| s as i64).collect();
         self.rerank();
     }
 }

@@ -85,6 +85,30 @@ pub trait DagConsensus: Send {
         (0, 0)
     }
 
+    /// Serializes the protocol's durable state (e.g. the last committed
+    /// wave and commit counters) for the primary's crash checkpoint.
+    ///
+    /// The primary persists the blob after every batch of commits and hands
+    /// it back through [`DagConsensus::restore`] when a restarted validator
+    /// boots from its block store. Protocols whose decisions derive only
+    /// from the retained DAG may keep the `None` default — but protocols
+    /// that walk waves forward from their last commit (Tusk) *must*
+    /// implement it: after GC the early waves' coin shares are gone, so
+    /// re-deciding from wave 1 would deadlock.
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state previously produced by [`DagConsensus::checkpoint`].
+    ///
+    /// Called once, before [`DagConsensus::on_start`], when a validator
+    /// recovers from its block store. Unknown or truncated blobs should be
+    /// ignored (the protocol then restarts conservatively from genesis
+    /// state; safety never depends on the checkpoint).
+    fn restore(&mut self, checkpoint: &[u8]) {
+        let _ = checkpoint;
+    }
+
     /// Parents the protocol would like present before the primary proposes
     /// its `round` block, as `(round - 1, author)` slots.
     ///

@@ -11,14 +11,25 @@
 //! Consensus is a plug-in ([`DagConsensus`]): Tusk interprets the DAG
 //! locally with zero extra messages; Narwhal-HotStuff exchanges extension
 //! messages through the same primary.
+//!
+//! Durability (§6, "data-structures are persisted using RocksDB"): a
+//! primary built with [`Primary::with_store`] writes through a
+//! [`BlockStore`] — certificates on DAG insert, vote locks on
+//! acknowledgment, ordered markers and the sequence counter on commit, the
+//! consensus checkpoint after every settled anchor — and deletes with
+//! garbage collection. On start it recovers all of it, so a crashed
+//! validator resumes from its persisted frontier instead of genesis and
+//! never re-commits or equivocates across the outage.
 
 use crate::config::NarwhalConfig;
 use crate::consensus::{ConsensusOut, DagConsensus};
 use crate::dag::{Dag, InsertOutcome};
 use crate::deployment::AddressBook;
 use crate::messages::{BatchInfo, NarwhalMsg};
+use crate::store::BlockStore;
 use nt_crypto::{CoinShare, Digest, Hashable, KeyPair};
 use nt_network::{Actor, Context, NodeId, Time};
+use nt_storage::DynStore;
 use nt_types::{Certificate, CommitEvent, Committee, Header, Round, ValidatorId, Vote};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
@@ -99,10 +110,12 @@ pub struct Primary<C: DagConsensus> {
     pending_anchors: VecDeque<AnchorKey>,
     sequence: u64,
     consensus: C,
+    /// Durable write-through store (`None` = volatile, simulation default).
+    block_store: Option<BlockStore>,
 }
 
 impl<C: DagConsensus> Primary<C> {
-    /// Creates the primary for validator `me`.
+    /// Creates a volatile primary for validator `me` (no persistence).
     pub fn new(
         committee: Committee,
         config: NarwhalConfig,
@@ -110,6 +123,41 @@ impl<C: DagConsensus> Primary<C> {
         me: ValidatorId,
         keypair: KeyPair,
         consensus: C,
+    ) -> Self {
+        Self::build(committee, config, addr, me, keypair, consensus, None)
+    }
+
+    /// Creates a primary that persists through `store` and recovers from it
+    /// on start. Share the same backend with the validator's workers (the
+    /// paper's per-validator RocksDB instance).
+    pub fn with_store(
+        committee: Committee,
+        config: NarwhalConfig,
+        addr: AddressBook,
+        me: ValidatorId,
+        keypair: KeyPair,
+        consensus: C,
+        store: DynStore,
+    ) -> Self {
+        Self::build(
+            committee,
+            config,
+            addr,
+            me,
+            keypair,
+            consensus,
+            Some(BlockStore::new(store)),
+        )
+    }
+
+    fn build(
+        committee: Committee,
+        config: NarwhalConfig,
+        addr: AddressBook,
+        me: ValidatorId,
+        keypair: KeyPair,
+        consensus: C,
+        block_store: Option<BlockStore>,
     ) -> Self {
         Primary {
             committee,
@@ -139,7 +187,66 @@ impl<C: DagConsensus> Primary<C> {
             pending_anchors: VecDeque::new(),
             sequence: 0,
             consensus,
+            block_store,
         }
+    }
+
+    /// Rebuilds state from the block store (crash recovery). Returns
+    /// `false` when no store is configured — the volatile genesis boot.
+    ///
+    /// Recovered: the certified DAG (verified against the committee), the
+    /// GC boundary, ordered markers, the commit-sequence counter, vote
+    /// locks (so the new incarnation cannot acknowledge an equivocation),
+    /// own committed batches (so they are not re-proposed), and the
+    /// consensus checkpoint. `last_proposed` is re-derived from our own
+    /// vote locks: a round we already signed a block for must never get a
+    /// second one.
+    fn recover(&mut self, now: Time) -> bool {
+        let Some(store) = self.block_store.clone() else {
+            return false;
+        };
+        let mut dag = store.load_dag(&self.committee).expect("block store");
+        if let Some(gc_round) = store.gc_round().expect("block store") {
+            // Restore the GC boundary; the pruned certificates were already
+            // deleted, so this only prunes the freshly re-inserted genesis.
+            dag.gc(gc_round);
+        }
+        self.round = dag.first_retained_round();
+        self.round_entered = now;
+        self.dag = dag;
+        self.ordered = store.ordered_digests().expect("block store");
+        self.sequence = store.sequence().expect("block store");
+        self.voted = store.load_votes().expect("block store");
+        self.committed_batches = store.committed_batches().expect("block store");
+        self.last_proposed = self
+            .voted
+            .iter()
+            .filter(|(_, locks)| locks.contains_key(&self.me))
+            .map(|(round, _)| *round)
+            .max()
+            .unwrap_or(0);
+        // Payloads of our own certified-but-not-yet-committed blocks: the
+        // recovered worker re-reports every batch it holds, and without
+        // this in-flight record `handle_report` would queue these digests
+        // for a *second* proposal — committing the same transactions twice
+        // once both blocks linearize. (Committed blocks' payloads are
+        // covered by `committed_batches`; blocks pruned uncommitted were
+        // re-injected by the pre-crash GC.)
+        for round in self.dag.first_retained_round()..=self.dag.highest_round() {
+            if let Some(cert) = self.dag.get(round, self.me) {
+                if self.ordered.contains(&cert.header_digest()) {
+                    continue; // Already linearized: covered by committed_batches.
+                }
+                let digests: Vec<Digest> = cert.header.payload.iter().map(|(d, _)| *d).collect();
+                if !digests.is_empty() {
+                    self.own_payloads.insert(round, digests);
+                }
+            }
+        }
+        if let Some(blob) = store.consensus_checkpoint().expect("block store") {
+            self.consensus.restore(&blob);
+        }
+        true
     }
 
     /// Current local round (tests/metrics).
@@ -239,6 +346,14 @@ impl<C: DagConsensus> Primary<C> {
                     if gc_round > 0 {
                         self.perform_gc(gc_round);
                     }
+                    // Checkpoint consensus after every settled anchor, so a
+                    // restarted validator resumes at the next undecided wave
+                    // instead of re-walking (or deadlocking on) GC'd ones.
+                    if let Some(store) = &self.block_store {
+                        if let Some(blob) = self.consensus.checkpoint() {
+                            store.put_consensus_checkpoint(&blob).expect("block store");
+                        }
+                    }
                 }
             }
         }
@@ -253,6 +368,10 @@ impl<C: DagConsensus> Primary<C> {
         let digest = cert.header_digest();
         self.ordered.insert(digest);
         self.sequence += 1;
+        if let Some(store) = &self.block_store {
+            store.put_ordered(&digest).expect("block store");
+            store.put_sequence(self.sequence).expect("block store");
+        }
         let (direct_commits, indirect_commits) = self.consensus.commit_counts();
         let mut event = CommitEvent {
             sequence: self.sequence,
@@ -274,6 +393,11 @@ impl<C: DagConsensus> Primary<C> {
                     event.tx_bytes += info.tx_bytes;
                     event.samples.extend(info.samples.iter().copied());
                     self.committed_batches.insert(*batch_digest);
+                    if let Some(store) = &self.block_store {
+                        store
+                            .put_committed_batch(batch_digest)
+                            .expect("block store");
+                    }
                 }
             }
             self.own_payloads.remove(&cert.round());
@@ -288,15 +412,22 @@ impl<C: DagConsensus> Primary<C> {
         if pruned.is_empty() {
             return;
         }
+        let store = self.block_store.clone();
         for cert in &pruned {
             let digest = cert.header_digest();
             self.ordered.remove(&digest);
             self.pending_headers.remove(&digest);
             self.missing_certs.remove(&digest);
+            if let Some(store) = &store {
+                store.delete_ordered(&digest).expect("block store");
+            }
             if cert.origin() != self.me {
                 for (batch_digest, _) in &cert.header.payload {
                     self.stored_batches.remove(batch_digest);
                     self.batch_meta.remove(batch_digest);
+                    if let Some(store) = &store {
+                        store.delete_batch(batch_digest).expect("block store");
+                    }
                 }
             }
         }
@@ -338,9 +469,21 @@ impl<C: DagConsensus> Primary<C> {
                     if self.committed_batches.remove(batch_digest) {
                         self.batch_meta.remove(batch_digest);
                         self.stored_batches.remove(batch_digest);
+                        if let Some(store) = &store {
+                            store.delete_batch(batch_digest).expect("block store");
+                        }
                     }
                 }
             }
+        }
+        // Mirror the prune in the durable store: certificates and vote
+        // locks below the boundary go, and the boundary itself is recorded
+        // so recovery resumes behind the same window.
+        if let Some(store) = &store {
+            let boundary = self.dag.first_retained_round();
+            store.gc_certificates_below(boundary).expect("block store");
+            store.gc_votes_below(boundary).expect("block store");
+            store.put_gc_round(gc_round).expect("block store");
         }
     }
 
@@ -455,6 +598,11 @@ impl<C: DagConsensus> Primary<C> {
             .entry(self.round)
             .or_default()
             .insert(self.me, header.digest());
+        if let Some(store) = &self.block_store {
+            store
+                .put_vote(self.round, self.me, &header.digest())
+                .expect("block store");
+        }
         self.current_votes = vec![own_vote];
         self.current_header = Some(header.clone());
         for node in self.addr.other_primaries(self.me) {
@@ -560,6 +708,13 @@ impl<C: DagConsensus> Primary<C> {
             }
             std::collections::hash_map::Entry::Vacant(e) => {
                 e.insert(digest);
+                // Persist the lock *before* the vote leaves: a restarted
+                // incarnation must remember what it signed (§3.1 cond. 4).
+                if let Some(store) = &self.block_store {
+                    store
+                        .put_vote(header.round, header.author, &digest)
+                        .expect("block store");
+                }
             }
         }
         let vote = Vote::new(&self.keypair, self.me, digest, header.round, header.author);
@@ -648,6 +803,9 @@ impl<C: DagConsensus> Primary<C> {
             InsertOutcome::BelowGc | InsertOutcome::Duplicate => return,
             InsertOutcome::Inserted => {}
         }
+        if let Some(store) = &self.block_store {
+            store.put_certificate(&cert).expect("block store");
+        }
         self.missing_certs.remove(&digest);
         // Wake any block proposal that waited on this certificate.
         if let Some(waiters) = self.waiting_on_parent.remove(&digest) {
@@ -674,7 +832,17 @@ impl<C: DagConsensus> Primary<C> {
         self.stored_batches.insert(digest);
         let own = info.creator == self.me;
         let first = self.batch_meta.insert(digest, info.clone()).is_none();
-        if own && first {
+        // A recovered worker re-reports everything it holds; own batches
+        // that already reached the committed sequence, or that sit inside a
+        // certified block still awaiting commit, must not re-enter the
+        // proposal queue — either way their transactions would linearize
+        // twice. (`own_payloads` is GC-bounded, so the scan is small.)
+        let in_flight = || {
+            self.own_payloads
+                .values()
+                .any(|digests| digests.contains(&digest))
+        };
+        if own && first && !self.committed_batches.contains(&digest) && !in_flight() {
             self.pending_digests.push_back(info);
             self.try_propose(ctx);
         }
@@ -739,7 +907,14 @@ impl<C: DagConsensus> Primary<C> {
             }
         }
         self.drain_anchors(ctx);
-        ctx.timer(self.config.sync_retry_delay, TAG_RETRY);
+        ctx.timer(self.retry_interval(), TAG_RETRY);
+    }
+
+    /// The retry-timer cadence. Driven off the *smaller* of the two retry
+    /// delays: a `resend_delay` below `sync_retry_delay` would otherwise be
+    /// silently quantized up to the timer period.
+    fn retry_interval(&self) -> Time {
+        self.config.sync_retry_delay.min(self.config.resend_delay)
     }
 }
 
@@ -747,14 +922,18 @@ impl<C: DagConsensus> Actor for Primary<C> {
     type Message = NarwhalMsg<C::Ext>;
 
     fn on_start(&mut self, ctx: &mut Context<Self::Message>) {
-        self.dag
-            .insert_genesis(Certificate::genesis_set(&self.committee));
+        if !self.recover(ctx.now()) {
+            // Volatile boot: bootstrap from genesis (the recovered DAG
+            // already contains it otherwise).
+            self.dag
+                .insert_genesis(Certificate::genesis_set(&self.committee));
+        }
         let mut out = ConsensusOut::default();
         self.consensus.on_start(&mut out);
         self.apply_consensus_out(out, ctx);
         self.advance_round(ctx);
         self.try_propose(ctx);
-        ctx.timer(self.config.sync_retry_delay, TAG_RETRY);
+        ctx.timer(self.retry_interval(), TAG_RETRY);
     }
 
     fn on_timer(&mut self, tag: u64, ctx: &mut Context<Self::Message>) {
@@ -1090,6 +1269,139 @@ mod tests {
                     && matches!(m, NarwhalMsg::Vote(_))),
             "vote sent after availability is established"
         );
+    }
+
+    /// Routes messages between the given primaries until quiescence.
+    fn route_to_fixpoint(
+        primaries: &mut [Primary<NoConsensus>],
+        addr: &AddressBook,
+        mut queues: VecDeque<(NodeId, NodeId, Msg)>,
+        now: Time,
+    ) {
+        let mut hops = 0;
+        while let Some((from, to, msg)) = queues.pop_front() {
+            hops += 1;
+            assert!(hops < 10_000, "message routing must terminate");
+            if addr.primary_of(to).is_some() {
+                let mut ctx = Context::new(now, to);
+                primaries[to].on_message(from, msg, &mut ctx);
+                for (nto, nmsg) in sends(ctx.drain()) {
+                    queues.push_back((to, nto, nmsg));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restarted_primary_recovers_dag_round_and_vote_locks() {
+        use nt_storage::MemStore;
+        use std::sync::Arc;
+        let (committee, kps, _, _) = setup(4);
+        let addr = AddressBook::new(4, 1);
+        let stores: Vec<nt_storage::DynStore> =
+            (0..4).map(|_| Arc::new(MemStore::new()) as _).collect();
+        let mut primaries: Vec<Primary<NoConsensus>> = (0..4)
+            .map(|v| {
+                Primary::with_store(
+                    committee.clone(),
+                    NarwhalConfig::default(),
+                    addr,
+                    ValidatorId(v as u32),
+                    kps[v].clone(),
+                    NoConsensus,
+                    stores[v].clone(),
+                )
+            })
+            .collect();
+        let mut queues: VecDeque<(NodeId, NodeId, Msg)> = VecDeque::new();
+        for (v, primary) in primaries.iter_mut().enumerate() {
+            let mut ctx = Context::new(0, v);
+            primary.on_start(&mut ctx);
+            for (to, msg) in sends(ctx.drain()) {
+                queues.push_back((v, to, msg));
+            }
+        }
+        for v in 0..4u32 {
+            for (p, primary) in primaries.iter_mut().enumerate() {
+                for (to, msg) in report_from(primary, ValidatorId(v), v as u64, MS) {
+                    queues.push_back((p, to, msg));
+                }
+            }
+        }
+        route_to_fixpoint(&mut primaries, &addr, queues, 2 * MS);
+        assert!(primaries[0].round() >= 2, "round 1 certified everywhere");
+
+        // Crash validator 0 and boot a fresh incarnation over its store.
+        let mut revived = Primary::with_store(
+            committee.clone(),
+            NarwhalConfig::default(),
+            addr,
+            ValidatorId(0),
+            kps[0].clone(),
+            NoConsensus,
+            stores[0].clone(),
+        );
+        let mut ctx = Context::new(5 * MS, 0);
+        revived.on_start(&mut ctx);
+        let old = &primaries[0];
+        assert_eq!(revived.round, old.round, "round recovered from quorums");
+        assert_eq!(
+            revived.dag.len(),
+            old.dag.len(),
+            "DAG recovered, not genesis"
+        );
+        assert_eq!(revived.dag.round_size(1), 4);
+        assert_eq!(revived.voted, old.voted, "vote locks survive the crash");
+        assert_eq!(
+            revived.last_proposed, old.last_proposed,
+            "no second proposal for an already-signed round"
+        );
+        // The revived primary must not have proposed a round-1 block again.
+        let proposals = sends(ctx.drain())
+            .into_iter()
+            .filter(|(_, m)| matches!(m, NarwhalMsg::Header(h) if h.round <= old.last_proposed))
+            .count();
+        assert_eq!(proposals, 0, "recovery never re-proposes a signed round");
+
+        // Our round-1 block carried our own batch and is certified but not
+        // committed (NoConsensus): the in-flight payload is recovered...
+        let own_digest = Digest::of(&0u64.to_le_bytes());
+        assert!(
+            revived
+                .own_payloads
+                .values()
+                .any(|ds| ds.contains(&own_digest)),
+            "in-flight own payloads recovered from the DAG"
+        );
+        // ...so the recovered worker's re-report must NOT queue the batch
+        // for a second proposal (its transactions would commit twice).
+        report(&mut revived, 0, 6 * MS);
+        assert!(
+            revived.pending_digests.is_empty(),
+            "batch inside a certified in-flight block is not re-proposed"
+        );
+    }
+
+    #[test]
+    fn fresh_store_boots_like_a_volatile_primary() {
+        use nt_storage::MemStore;
+        use std::sync::Arc;
+        let (committee, kps, _, mut volatile) = setup(4);
+        let mut durable = Primary::with_store(
+            committee,
+            NarwhalConfig::default(),
+            AddressBook::new(4, 1),
+            ValidatorId(0),
+            kps[0].clone(),
+            NoConsensus,
+            Arc::new(MemStore::new()) as _,
+        );
+        let mut ctx_v = Context::new(0, 0);
+        volatile[0].on_start(&mut ctx_v);
+        let mut ctx_d = Context::new(0, 0);
+        durable.on_start(&mut ctx_d);
+        assert_eq!(durable.round(), volatile[0].round());
+        assert_eq!(durable.dag().len(), volatile[0].dag().len());
     }
 
     #[test]

@@ -15,9 +15,14 @@ use crate::dag::Dag;
 use nt_codec::{decode_from_slice, encode_to_vec};
 use nt_crypto::{Digest, Hashable};
 use nt_storage::{DynStore, StoreError};
-use nt_types::{Batch, Certificate, Committee, Round};
+use nt_types::{Batch, Certificate, Committee, Round, ValidatorId};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
-/// Typed store for certificates and batches.
+/// Typed store for certificates, batches, and the primary's recovery
+/// bookkeeping (ordered markers, vote locks, consensus checkpoint).
+///
+/// Cloning is cheap: clones share the same backend.
+#[derive(Clone)]
 pub struct BlockStore {
     inner: DynStore,
 }
@@ -70,6 +75,32 @@ fn batch_key(digest: &Digest) -> Vec<u8> {
     key
 }
 
+fn ordered_key(digest: &Digest) -> Vec<u8> {
+    let mut key = Vec::with_capacity(2 + 32);
+    key.extend_from_slice(b"o/");
+    key.extend_from_slice(digest.as_bytes());
+    key
+}
+
+fn vote_key(round: Round, creator: ValidatorId) -> Vec<u8> {
+    let mut key = Vec::with_capacity(2 + 8 + 4);
+    key.extend_from_slice(b"v/");
+    key.extend_from_slice(&round.to_be_bytes());
+    key.extend_from_slice(&creator.0.to_be_bytes());
+    key
+}
+
+fn committed_batch_key(digest: &Digest) -> Vec<u8> {
+    let mut key = Vec::with_capacity(3 + 32);
+    key.extend_from_slice(b"cb/");
+    key.extend_from_slice(digest.as_bytes());
+    key
+}
+
+const CONSENSUS_KEY: &[u8] = b"k/consensus";
+const SEQUENCE_KEY: &[u8] = b"k/sequence";
+const GC_ROUND_KEY: &[u8] = b"k/gc";
+
 impl BlockStore {
     /// Wraps a backend store.
     pub fn new(inner: DynStore) -> Self {
@@ -119,6 +150,162 @@ impl BlockStore {
         };
         let batch = decode_from_slice(&bytes).map_err(|_| BlockStoreError::Corrupt(*digest))?;
         Ok(Some(batch))
+    }
+
+    /// Deletes a batch and its committed marker (garbage collection).
+    pub fn delete_batch(&self, digest: &Digest) -> Result<(), BlockStoreError> {
+        self.inner.delete(&batch_key(digest))?;
+        self.inner.delete(&committed_batch_key(digest))?;
+        Ok(())
+    }
+
+    /// All persisted batches (restart recovery of a worker's store).
+    pub fn load_batches(&self) -> Result<Vec<Batch>, BlockStoreError> {
+        let mut batches = Vec::new();
+        for key in self.inner.keys_with_prefix(b"b/")? {
+            let Some(bytes) = self.inner.get(&key)? else {
+                continue;
+            };
+            if let Ok(batch) = decode_from_slice::<Batch>(&bytes) {
+                batches.push(batch);
+            }
+        }
+        Ok(batches)
+    }
+
+    /// Marks one of our own batches as committed (its digest reached the
+    /// committed sequence), so a restarted primary does not re-propose it.
+    pub fn put_committed_batch(&self, digest: &Digest) -> Result<(), BlockStoreError> {
+        self.inner.put(&committed_batch_key(digest), &[])?;
+        Ok(())
+    }
+
+    /// Digests of own batches marked committed.
+    pub fn committed_batches(&self) -> Result<HashSet<Digest>, BlockStoreError> {
+        let mut out = HashSet::new();
+        for key in self.inner.keys_with_prefix(b"cb/")? {
+            if key.len() == 3 + 32 {
+                out.insert(Digest(key[3..35].try_into().expect("32-byte digest")));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Marks a block as linearized into the committed sequence.
+    pub fn put_ordered(&self, digest: &Digest) -> Result<(), BlockStoreError> {
+        self.inner.put(&ordered_key(digest), &[])?;
+        Ok(())
+    }
+
+    /// Unmarks an ordered block (its certificate was garbage collected).
+    pub fn delete_ordered(&self, digest: &Digest) -> Result<(), BlockStoreError> {
+        self.inner.delete(&ordered_key(digest))?;
+        Ok(())
+    }
+
+    /// Digests of all blocks marked ordered.
+    pub fn ordered_digests(&self) -> Result<HashSet<Digest>, BlockStoreError> {
+        let mut out = HashSet::new();
+        for key in self.inner.keys_with_prefix(b"o/")? {
+            if key.len() == 2 + 32 {
+                out.insert(Digest(key[2..34].try_into().expect("32-byte digest")));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Persists the block digest we acknowledged for `(round, creator)`.
+    ///
+    /// This is the §3.1 condition-4 vote lock: a restarted validator must
+    /// never sign a *different* block from the same creator in the same
+    /// round, or it would help certify an equivocation it already rejected.
+    pub fn put_vote(
+        &self,
+        round: Round,
+        creator: ValidatorId,
+        digest: &Digest,
+    ) -> Result<(), BlockStoreError> {
+        self.inner
+            .put(&vote_key(round, creator), digest.as_bytes())?;
+        Ok(())
+    }
+
+    /// All persisted vote locks, grouped by round.
+    pub fn load_votes(
+        &self,
+    ) -> Result<BTreeMap<Round, HashMap<ValidatorId, Digest>>, BlockStoreError> {
+        let mut out: BTreeMap<Round, HashMap<ValidatorId, Digest>> = BTreeMap::new();
+        for key in self.inner.keys_with_prefix(b"v/")? {
+            if key.len() != 2 + 8 + 4 {
+                continue;
+            }
+            let round = Round::from_be_bytes(key[2..10].try_into().expect("8-byte round"));
+            let creator = ValidatorId(u32::from_be_bytes(
+                key[10..14].try_into().expect("4-byte creator"),
+            ));
+            let Some(bytes) = self.inner.get(&key)? else {
+                continue;
+            };
+            let Ok(raw) = <[u8; 32]>::try_from(bytes.as_slice()) else {
+                continue;
+            };
+            out.entry(round).or_default().insert(creator, Digest(raw));
+        }
+        Ok(out)
+    }
+
+    /// Deletes vote locks for rounds strictly below `round` (GC).
+    pub fn gc_votes_below(&self, round: Round) -> Result<(), BlockStoreError> {
+        for key in self.inner.keys_with_prefix(b"v/")? {
+            if key.len() != 2 + 8 + 4 {
+                continue;
+            }
+            let key_round = Round::from_be_bytes(key[2..10].try_into().expect("8-byte round"));
+            if key_round < round {
+                self.inner.delete(&key)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Persists the consensus plug-in's checkpoint blob.
+    pub fn put_consensus_checkpoint(&self, blob: &[u8]) -> Result<(), BlockStoreError> {
+        self.inner.put(CONSENSUS_KEY, blob)?;
+        Ok(())
+    }
+
+    /// Reads the consensus checkpoint blob, if one was written.
+    pub fn consensus_checkpoint(&self) -> Result<Option<Vec<u8>>, BlockStoreError> {
+        Ok(self.inner.get(CONSENSUS_KEY)?)
+    }
+
+    /// Persists the primary's commit-sequence counter.
+    pub fn put_sequence(&self, sequence: u64) -> Result<(), BlockStoreError> {
+        self.inner.put(SEQUENCE_KEY, &sequence.to_be_bytes())?;
+        Ok(())
+    }
+
+    /// Reads the commit-sequence counter (0 if never written).
+    pub fn sequence(&self) -> Result<u64, BlockStoreError> {
+        Ok(self
+            .inner
+            .get(SEQUENCE_KEY)?
+            .and_then(|b| b.as_slice().try_into().ok().map(u64::from_be_bytes))
+            .unwrap_or(0))
+    }
+
+    /// Persists the last garbage-collection round.
+    pub fn put_gc_round(&self, round: Round) -> Result<(), BlockStoreError> {
+        self.inner.put(GC_ROUND_KEY, &round.to_be_bytes())?;
+        Ok(())
+    }
+
+    /// Reads the last garbage-collection round (`None` before the first GC).
+    pub fn gc_round(&self) -> Result<Option<Round>, BlockStoreError> {
+        Ok(self
+            .inner
+            .get(GC_ROUND_KEY)?
+            .and_then(|b| b.as_slice().try_into().ok().map(Round::from_be_bytes)))
     }
 
     /// Deletes all certificates below `round` (garbage collection, §3.3:
@@ -327,6 +514,67 @@ mod tests {
         let dag = s.load_dag(&committee).unwrap();
         assert_eq!(dag.highest_round(), 4);
         assert_eq!(dag.round_size(1), 0);
+    }
+
+    #[test]
+    fn vote_locks_roundtrip_and_gc() {
+        let s = store();
+        let d1 = Digest::of(b"block 1");
+        let d2 = Digest::of(b"block 2");
+        s.put_vote(1, ValidatorId(0), &d1).unwrap();
+        s.put_vote(1, ValidatorId(2), &d2).unwrap();
+        s.put_vote(5, ValidatorId(1), &d1).unwrap();
+        let votes = s.load_votes().unwrap();
+        assert_eq!(votes.len(), 2);
+        assert_eq!(votes[&1][&ValidatorId(0)], d1);
+        assert_eq!(votes[&1][&ValidatorId(2)], d2);
+        assert_eq!(votes[&5][&ValidatorId(1)], d1);
+        s.gc_votes_below(5).unwrap();
+        let votes = s.load_votes().unwrap();
+        assert_eq!(votes.len(), 1, "round 1 locks pruned");
+        assert!(votes.contains_key(&5));
+    }
+
+    #[test]
+    fn ordered_markers_and_counters_roundtrip() {
+        let s = store();
+        let d = Digest::of(b"ordered block");
+        assert!(s.ordered_digests().unwrap().is_empty());
+        s.put_ordered(&d).unwrap();
+        assert!(s.ordered_digests().unwrap().contains(&d));
+        s.delete_ordered(&d).unwrap();
+        assert!(s.ordered_digests().unwrap().is_empty());
+
+        assert_eq!(s.sequence().unwrap(), 0);
+        s.put_sequence(42).unwrap();
+        assert_eq!(s.sequence().unwrap(), 42);
+
+        assert_eq!(s.gc_round().unwrap(), None);
+        s.put_gc_round(7).unwrap();
+        assert_eq!(s.gc_round().unwrap(), Some(7));
+
+        assert_eq!(s.consensus_checkpoint().unwrap(), None);
+        s.put_consensus_checkpoint(b"wave 3").unwrap();
+        assert_eq!(s.consensus_checkpoint().unwrap(), Some(b"wave 3".to_vec()));
+    }
+
+    #[test]
+    fn batch_recovery_and_committed_markers() {
+        let s = store();
+        let a = Batch::synthetic(ValidatorId(0), WorkerId(0), 1, 10, 5_120, vec![]);
+        let b = Batch::synthetic(ValidatorId(1), WorkerId(0), 2, 20, 10_240, vec![]);
+        s.put_batch(&a).unwrap();
+        s.put_batch(&b).unwrap();
+        s.put_committed_batch(&a.digest()).unwrap();
+        let mut recovered = s.load_batches().unwrap();
+        recovered.sort_by_key(|b| b.seq);
+        assert_eq!(recovered, vec![a.clone(), b.clone()]);
+        assert!(s.committed_batches().unwrap().contains(&a.digest()));
+        // GC removes the batch and its marker together.
+        s.delete_batch(&a.digest()).unwrap();
+        assert_eq!(s.get_batch(&a.digest()).unwrap(), None);
+        assert!(s.committed_batches().unwrap().is_empty());
+        assert_eq!(s.load_batches().unwrap(), vec![b]);
     }
 
     #[test]

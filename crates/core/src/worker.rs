@@ -11,8 +11,10 @@
 use crate::config::NarwhalConfig;
 use crate::deployment::AddressBook;
 use crate::messages::{BatchInfo, NarwhalMsg};
+use crate::store::BlockStore;
 use nt_crypto::{Digest, Hashable as _};
 use nt_network::{Actor, Context, NodeId, Time};
+use nt_storage::DynStore;
 use nt_types::{Batch, Committee, Transaction, TxSample, ValidatorId, WorkerId};
 use std::collections::{HashMap, HashSet};
 
@@ -50,17 +52,51 @@ pub struct Worker<Ext: Clone + Send + 'static> {
     pending: HashMap<Digest, PendingBatch>,
     // Fetching batches the primary asked for.
     fetching: HashMap<Digest, FetchState>,
+    /// Durable write-through store (`None` = volatile, simulation default).
+    block_store: Option<BlockStore>,
     _ext: std::marker::PhantomData<Ext>,
 }
 
 impl<Ext: Clone + Send + 'static> Worker<Ext> {
-    /// Creates the worker for slot `worker_id` of validator `me`.
+    /// Creates a volatile worker for slot `worker_id` of validator `me`.
     pub fn new(
         committee: Committee,
         config: NarwhalConfig,
         addr: AddressBook,
         me: ValidatorId,
         worker_id: WorkerId,
+    ) -> Self {
+        Self::build(committee, config, addr, me, worker_id, None)
+    }
+
+    /// Creates a worker that persists batches through `store` and recovers
+    /// them on start. Share the same backend with the validator's primary
+    /// (the paper's per-validator RocksDB instance).
+    pub fn with_store(
+        committee: Committee,
+        config: NarwhalConfig,
+        addr: AddressBook,
+        me: ValidatorId,
+        worker_id: WorkerId,
+        store: DynStore,
+    ) -> Self {
+        Self::build(
+            committee,
+            config,
+            addr,
+            me,
+            worker_id,
+            Some(BlockStore::new(store)),
+        )
+    }
+
+    fn build(
+        committee: Committee,
+        config: NarwhalConfig,
+        addr: AddressBook,
+        me: ValidatorId,
+        worker_id: WorkerId,
+        block_store: Option<BlockStore>,
     ) -> Self {
         Worker {
             committee,
@@ -77,6 +113,7 @@ impl<Ext: Clone + Send + 'static> Worker<Ext> {
             store: HashMap::new(),
             pending: HashMap::new(),
             fetching: HashMap::new(),
+            block_store,
             _ext: std::marker::PhantomData,
         }
     }
@@ -84,6 +121,45 @@ impl<Ext: Clone + Send + 'static> Worker<Ext> {
     /// Number of batches currently stored (tests/metrics).
     pub fn stored_batches(&self) -> usize {
         self.store.len()
+    }
+
+    /// Reloads persisted batches after a crash and re-reports them to the
+    /// primary, which rebuilds its availability view (`stored_batches`)
+    /// from the reports — own uncommitted batches re-enter the proposal
+    /// queue there, committed ones are filtered by the primary's own
+    /// recovered state. Also resumes the batch/sample sequence counters so
+    /// new batches never collide with pre-crash digests.
+    fn recover(&mut self, ctx: &mut Context<NarwhalMsg<Ext>>) {
+        let Some(store) = self.block_store.clone() else {
+            return;
+        };
+        for batch in store.load_batches().expect("block store") {
+            let digest = batch.digest();
+            if batch.creator == self.me && batch.worker == self.worker_id {
+                self.seq = self.seq.max(batch.seq);
+                for sample in &batch.samples {
+                    // Sample ids pack the per-worker counter in the low 40
+                    // bits (see `next_sample_id`).
+                    self.sample_seq = self.sample_seq.max(sample.id & ((1 << 40) - 1));
+                }
+            }
+            self.store.insert(digest, batch.clone());
+            self.report(&batch, ctx);
+        }
+    }
+
+    /// The retry-timer cadence: the smaller of the two retry delays, so a
+    /// `resend_delay` below `sync_retry_delay` is not silently quantized
+    /// up to the timer period.
+    fn retry_interval(&self) -> Time {
+        self.config.sync_retry_delay.min(self.config.resend_delay)
+    }
+
+    /// Persists a batch if a durable store is configured.
+    fn persist(&self, batch: &Batch) {
+        if let Some(store) = &self.block_store {
+            store.put_batch(batch).expect("block store");
+        }
     }
 
     fn next_sample_id(&mut self) -> u64 {
@@ -108,6 +184,7 @@ impl<Ext: Clone + Send + 'static> Worker<Ext> {
         acked.insert(self.me);
         if acked.len() >= self.committee.quorum_threshold() {
             // Single-validator committee: no replication needed.
+            self.persist(&batch);
             self.report(&batch, ctx);
         } else {
             ctx.broadcast(peers, &NarwhalMsg::Batch(batch.clone()));
@@ -179,8 +256,9 @@ impl<Ext: Clone + Send + 'static> Actor for Worker<Ext> {
 
     fn on_start(&mut self, ctx: &mut Context<Self::Message>) {
         self.buffer_opened = ctx.now();
+        self.recover(ctx);
         ctx.timer(self.seal_interval(), TAG_SEAL);
-        ctx.timer(self.config.sync_retry_delay, TAG_RETRY);
+        ctx.timer(self.retry_interval(), TAG_RETRY);
     }
 
     fn on_timer(&mut self, tag: u64, ctx: &mut Context<Self::Message>) {
@@ -223,19 +301,22 @@ impl<Ext: Clone + Send + 'static> Actor for Worker<Ext> {
                 for (targets, batch) in resend {
                     ctx.broadcast(targets, &NarwhalMsg::Batch(batch));
                 }
-                // Retry outstanding fetches against rotating targets.
+                // Retry outstanding fetches against rotating targets,
+                // deterministically skipping ourselves: the old fallback
+                // (retreat to the creator) re-targeted *us* whenever we
+                // were fetching a batch we ourselves created and the
+                // rotation landed on us — a request that can never be
+                // answered.
                 let n = self.committee.size() as u32;
                 let mut retries: Vec<(NodeId, Digest)> = Vec::new();
                 for (digest, fetch) in self.fetching.iter_mut() {
                     if now.saturating_sub(fetch.last) >= self.config.sync_retry_delay {
                         fetch.attempts += 1;
                         fetch.last = now;
-                        let target = ValidatorId((fetch.creator.0 + fetch.attempts) % n);
-                        let target = if target == self.me {
-                            fetch.creator
-                        } else {
-                            target
-                        };
+                        let mut target = ValidatorId((fetch.creator.0 + fetch.attempts) % n);
+                        if target == self.me && n > 1 {
+                            target = ValidatorId((target.0 + 1) % n);
+                        }
                         retries.push((self.addr.worker(target, self.worker_id), *digest));
                     }
                 }
@@ -247,7 +328,7 @@ impl<Ext: Clone + Send + 'static> Actor for Worker<Ext> {
                         },
                     );
                 }
-                ctx.timer(self.config.sync_retry_delay, TAG_RETRY);
+                ctx.timer(self.retry_interval(), TAG_RETRY);
             }
             _ => {}
         }
@@ -278,6 +359,12 @@ impl<Ext: Clone + Send + 'static> Actor for Worker<Ext> {
                 let digest = batch.digest();
                 let first_seen = !self.store.contains_key(&digest);
                 self.store.insert(digest, batch.clone());
+                // Persist *before* acknowledging: the ack is a storage
+                // promise another validator's certificate will depend on
+                // (§4.2), so it must survive our crash.
+                if first_seen {
+                    self.persist(&batch);
+                }
                 ctx.send(
                     from,
                     NarwhalMsg::BatchAck {
@@ -296,6 +383,10 @@ impl<Ext: Clone + Send + 'static> Actor for Worker<Ext> {
                     p.acked.insert(voter);
                     if p.acked.len() >= quorum {
                         let done = self.pending.remove(&digest).expect("present");
+                        // Quorum reached: the batch is now replicated
+                        // enough to be referenced by a block — persist it
+                        // before the digest reaches the primary.
+                        self.persist(&done.batch);
                         self.report(&done.batch, ctx);
                     }
                 }
@@ -315,6 +406,7 @@ impl<Ext: Clone + Send + 'static> Actor for Worker<Ext> {
                     if self.fetching.remove(&digest).is_some() || !self.store.contains_key(&digest)
                     {
                         self.store.insert(digest, batch.clone());
+                        self.persist(&batch);
                         self.report(&batch, ctx);
                     }
                 }
@@ -356,7 +448,7 @@ mod tests {
     use crate::consensus::NoExt;
     use nt_crypto::Scheme;
     use nt_network::Effect;
-    use nt_network::MS;
+    use nt_network::{MS, SEC};
 
     type Msg = NarwhalMsg<NoExt>;
 
@@ -622,6 +714,140 @@ mod tests {
             }
         }
         assert!(seen.len() >= 2, "retries rotate over peers: {seen:?}");
+    }
+
+    #[test]
+    fn restarted_worker_recovers_batches_and_sequence() {
+        use nt_storage::MemStore;
+        use std::sync::Arc;
+        let (committee, addr, _) = setup(4);
+        let backend: nt_storage::DynStore = Arc::new(MemStore::new());
+        let mut worker: Worker<NoExt> = Worker::with_store(
+            committee.clone(),
+            NarwhalConfig::with_load(10_000.0),
+            addr,
+            ValidatorId(0),
+            WorkerId(0),
+            backend.clone(),
+        );
+        // A peer batch is persisted before it is acknowledged.
+        let peer_batch = Batch::synthetic(ValidatorId(1), WorkerId(0), 9, 100, 51_200, vec![]);
+        let mut ctx = Context::new(0, 4);
+        worker.on_message(5, NarwhalMsg::Batch(peer_batch.clone()), &mut ctx);
+        ctx.drain();
+        // An own batch is persisted once its ack quorum forms.
+        let mut ctx = Context::new(200 * MS, 4);
+        worker.on_timer(TAG_SEAL, &mut ctx);
+        let own_digest = sends(ctx.drain())
+            .into_iter()
+            .find_map(|(_, m)| match m {
+                NarwhalMsg::Batch(b) => Some(b.digest()),
+                _ => None,
+            })
+            .unwrap();
+        for voter in [1u32, 2] {
+            let mut ctx = Context::new(210 * MS, 4);
+            worker.on_message(
+                5,
+                NarwhalMsg::BatchAck {
+                    digest: own_digest,
+                    voter: ValidatorId(voter),
+                },
+                &mut ctx,
+            );
+            ctx.drain();
+        }
+        let own_seq = worker.seq;
+        assert!(own_seq >= 1);
+
+        // Crash; a fresh incarnation recovers both batches and re-reports.
+        let mut revived: Worker<NoExt> = Worker::with_store(
+            committee,
+            NarwhalConfig::with_load(10_000.0),
+            addr,
+            ValidatorId(0),
+            WorkerId(0),
+            backend,
+        );
+        let mut ctx = Context::new(SEC, 4);
+        revived.on_start(&mut ctx);
+        assert_eq!(revived.stored_batches(), 2, "both batches recovered");
+        assert_eq!(
+            revived.seq, own_seq,
+            "batch sequence resumes, no digest reuse"
+        );
+        let reports: Vec<Digest> = sends(ctx.drain())
+            .into_iter()
+            .filter_map(|(to, m)| match m {
+                NarwhalMsg::ReportBatch(info) if to == addr.primary(ValidatorId(0)) => {
+                    Some(info.digest)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reports.len(), 2, "recovered batches re-reported");
+        assert!(reports.contains(&own_digest));
+        assert!(reports.contains(&peer_batch.digest()));
+    }
+
+    #[test]
+    fn retry_timer_runs_at_the_faster_of_the_two_delays() {
+        let (committee, addr, _) = setup(4);
+        // resend_delay shorter than sync_retry_delay: the timer must follow
+        // the resend cadence, not quantize it up to the sync interval.
+        let config = NarwhalConfig {
+            resend_delay: 100 * MS,
+            sync_retry_delay: 500 * MS,
+            ..NarwhalConfig::with_load(10_000.0)
+        };
+        let mut worker: Worker<NoExt> =
+            Worker::new(committee, config, addr, ValidatorId(0), WorkerId(0));
+        let mut ctx = Context::new(0, 4);
+        worker.on_start(&mut ctx);
+        let delays: Vec<Time> = ctx
+            .drain()
+            .into_iter()
+            .filter_map(|e| match e {
+                Effect::Timer {
+                    delay,
+                    tag: TAG_RETRY,
+                } => Some(delay),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delays, vec![100 * MS], "retry timer at min(resend, sync)");
+    }
+
+    #[test]
+    fn fetch_retry_rotation_skips_self() {
+        let (_, addr, mut workers) = setup(4);
+        // Validator 0 fetches a batch created by validator 3: the rotation
+        // (creator + attempts) mod n passes through every slot including
+        // our own, which must be skipped — asking ourselves for a batch we
+        // do not have can never succeed.
+        let digest = Digest::of(b"never self");
+        let mut ctx = Context::new(0, 4);
+        workers[0].on_message(
+            addr.primary(ValidatorId(0)),
+            NarwhalMsg::FetchBatch {
+                digest,
+                worker: WorkerId(0),
+                creator: ValidatorId(3),
+            },
+            &mut ctx,
+        );
+        ctx.drain();
+        let retry = NarwhalConfig::default().sync_retry_delay;
+        let own_node = addr.worker(ValidatorId(0), WorkerId(0));
+        for k in 1..=8u64 {
+            let mut ctx = Context::new(k * (retry + MS), 4);
+            workers[0].on_timer(TAG_RETRY, &mut ctx);
+            for (to, msg) in sends(ctx.drain()) {
+                if matches!(msg, NarwhalMsg::BatchRequest { .. }) {
+                    assert_ne!(to, own_node, "attempt {k} targeted ourselves");
+                }
+            }
+        }
     }
 
     #[test]

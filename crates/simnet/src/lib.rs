@@ -15,8 +15,9 @@
 //!   (deserialization, hashing) and explicit signature costs; saturation of
 //!   this server produces the throughput ceilings and latency hockey
 //!   sticks in the figures.
-//! - **Faults**: hosts crash at scheduled times (Figure 8); link partitions
-//!   model periods of asynchrony (Table 1).
+//! - **Faults**: hosts crash at scheduled times (Figure 8) and can restart
+//!   with a fresh actor from a per-host factory (the crash-recovery
+//!   scenarios); link partitions model periods of asynchrony (Table 1).
 //!
 //! Every run is seeded and deterministic: same seed, same commit sequence.
 
@@ -25,5 +26,5 @@ pub mod sim;
 pub mod topology;
 
 pub use cost::{CostModel, SimMessage};
-pub use sim::{Partition, SimConfig, SimResult, Simulation};
+pub use sim::{ActorFactory, Partition, SimConfig, SimResult, Simulation};
 pub use topology::{HostSpec, Region, Topology};

@@ -12,10 +12,15 @@
 //!    form here), then `B`'s CPU for the receive + verification cost, and
 //!    only then does the actor's `on_message` run.
 //!
-//! Crashed hosts neither send nor receive. Partitions drop messages between
-//! two host groups during an interval. Optional uniform loss exercises the
-//! retransmission paths. All randomness comes from one seeded RNG: runs are
-//! bit-for-bit reproducible.
+//! Crashed hosts neither send nor receive. A crashed host can later
+//! *restart*: a fresh actor is built by the host's factory (see
+//! [`Simulation::from_factories`]), its NIC/CPU queues reset, timers armed
+//! by the previous incarnation are discarded, and messages that arrived
+//! while the host was down stay dropped — exactly the fault model of the
+//! paper's crash experiments plus the recovery path its RocksDB layer
+//! exists for. Partitions drop messages between two host groups during an
+//! interval. Optional uniform loss exercises the retransmission paths. All
+//! randomness comes from one seeded RNG: runs are bit-for-bit reproducible.
 
 use crate::cost::{CostModel, SimMessage};
 use crate::topology::Topology;
@@ -61,6 +66,13 @@ pub struct SimConfig {
     pub duration: Time,
     /// `(node, time)` crash schedule.
     pub crashes: Vec<(NodeId, Time)>,
+    /// `(node, time)` restart schedule. Each entry revives a crashed host
+    /// with a *fresh* actor built by its factory; the simulation must have
+    /// been built with [`Simulation::from_factories`]. A host may crash and
+    /// restart repeatedly — entries pair up with `crashes` by time order,
+    /// and at the same instant a restart resolves before a crash (it closes
+    /// the previous outage; the crash opens the next one).
+    pub restarts: Vec<(NodeId, Time)>,
     /// Link partitions.
     pub partitions: Vec<Partition>,
     /// Uniform message loss probability in `[0, 1)`.
@@ -75,6 +87,7 @@ impl SimConfig {
             seed,
             duration,
             crashes: Vec::new(),
+            restarts: Vec::new(),
             partitions: Vec::new(),
             loss: 0.0,
         }
@@ -100,9 +113,26 @@ enum EventKind<M> {
     /// The message finished link propagation and reaches `to`'s ingress.
     Arrive { to: NodeId, from: NodeId, msg: M },
     /// The receiver's CPU finished processing; run `on_message`.
-    ExecMsg { node: NodeId, from: NodeId, msg: M },
+    ExecMsg {
+        node: NodeId,
+        from: NodeId,
+        msg: M,
+        /// Incarnation the ingress admitted the message for; stale after a
+        /// restart in the (rare) window between arrival and execution.
+        incarnation: u64,
+    },
     /// A timer fires.
-    Fire { node: NodeId, tag: u64 },
+    Fire {
+        node: NodeId,
+        tag: u64,
+        /// Incarnation that armed the timer; a restarted host must not see
+        /// its predecessor's timers.
+        incarnation: u64,
+    },
+    /// The host goes down (scheduled fault).
+    Crash { node: NodeId },
+    /// The host comes back with a fresh actor from its factory.
+    Restart { node: NodeId },
 }
 
 struct Event<M> {
@@ -132,7 +162,23 @@ struct HostState {
     egress_free: Time,
     ingress_free: Time,
     cpu_free: Time,
-    crashed_at: Option<Time>,
+    /// True between a crash and the matching restart (if any).
+    down: bool,
+    /// Bumped on every restart; stamps timers and in-flight executions.
+    incarnation: u64,
+}
+
+/// Builds one fresh actor for a host; invoked once at start and once per
+/// restart of that host.
+pub type ActorFactory<M> = Box<dyn FnMut() -> Box<dyn Actor<Message = M>> + Send>;
+
+/// Placeholder actor briefly installed while a restarting host's real
+/// actor is rebuilt (lets the dead incarnation drop first).
+struct Tombstone<M>(std::marker::PhantomData<fn() -> M>);
+
+impl<M: Clone + Send + 'static> Actor for Tombstone<M> {
+    type Message = M;
+    fn on_message(&mut self, _: NodeId, _: M, _: &mut Context<M>) {}
 }
 
 /// A configured simulation ready to run.
@@ -140,24 +186,64 @@ pub struct Simulation<M: SimMessage> {
     topology: Topology,
     config: SimConfig,
     actors: Vec<Box<dyn Actor<Message = M>>>,
+    /// Per-host factories; required for restart schedules.
+    factories: Option<Vec<ActorFactory<M>>>,
 }
 
 impl<M: SimMessage> Simulation<M> {
     /// Builds a simulation; `actors[i]` runs on `topology.hosts[i]`.
     ///
+    /// Restart schedules need per-host factories — use
+    /// [`Simulation::from_factories`] for those.
+    ///
     /// # Panics
     ///
-    /// Panics if the actor and host counts differ.
+    /// Panics if the actor and host counts differ, or if the config
+    /// schedules restarts (no factories to rebuild actors from).
     pub fn new(
         topology: Topology,
         config: SimConfig,
         actors: Vec<Box<dyn Actor<Message = M>>>,
     ) -> Self {
         assert_eq!(topology.len(), actors.len(), "one actor per topology host");
+        assert!(
+            config.restarts.is_empty(),
+            "restart schedules require Simulation::from_factories"
+        );
         Simulation {
             topology,
             config,
             actors,
+            factories: None,
+        }
+    }
+
+    /// Builds a simulation from per-host actor factories;
+    /// `factories[i]()` builds the actor for `topology.hosts[i]`, and is
+    /// called again whenever the config restarts that host. State an actor
+    /// must carry *across* a crash (its durable store) lives outside the
+    /// factory, captured by the closure — everything else is rebuilt fresh,
+    /// which is exactly what makes the recovery path honest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factory and host counts differ.
+    pub fn from_factories(
+        topology: Topology,
+        config: SimConfig,
+        mut factories: Vec<ActorFactory<M>>,
+    ) -> Self {
+        assert_eq!(
+            topology.len(),
+            factories.len(),
+            "one factory per topology host"
+        );
+        let actors = factories.iter_mut().map(|f| f()).collect();
+        Simulation {
+            topology,
+            config,
+            actors,
+            factories: Some(factories),
         }
     }
 
@@ -168,16 +254,12 @@ impl<M: SimMessage> Simulation<M> {
         let mut queue: BinaryHeap<Reverse<Event<M>>> = BinaryHeap::new();
         let mut seq: u64 = 0;
         let mut hosts: Vec<HostState> = (0..n)
-            .map(|i| HostState {
+            .map(|_| HostState {
                 egress_free: 0,
                 ingress_free: 0,
                 cpu_free: 0,
-                crashed_at: self
-                    .config
-                    .crashes
-                    .iter()
-                    .find(|(node, _)| *node == i)
-                    .map(|(_, t)| *t),
+                down: false,
+                incarnation: 0,
             })
             .collect();
         // FIFO clamp per (from, to) pair, emulating TCP ordering.
@@ -188,6 +270,39 @@ impl<M: SimMessage> Simulation<M> {
         let mut dropped: u64 = 0;
         let mut end_time: Time = 0;
 
+        // Fault events first: their setup-time sequence numbers are lower
+        // than any runtime event's, so a fault scheduled at time `t`
+        // processes before same-instant deliveries — preserving the old
+        // `now >= crashed_at` semantics exactly. Crashes and restarts are
+        // merged in time order so schedules pair up as written; at the same
+        // instant a restart resolves before a crash (the restart closes the
+        // previous outage, the crash opens the next one).
+        let mut faults: Vec<(Time, bool, NodeId)> = Vec::new();
+        for (node, at) in &self.config.crashes {
+            assert!(*node < n, "crash schedule names unknown host {node}");
+            faults.push((*at, true, *node));
+        }
+        for (node, at) in &self.config.restarts {
+            assert!(*node < n, "restart schedule names unknown host {node}");
+            assert!(
+                self.factories.is_some(),
+                "restart schedules require Simulation::from_factories"
+            );
+            faults.push((*at, false, *node));
+        }
+        faults.sort_by_key(|(at, is_crash, node)| (*at, *is_crash, *node));
+        for (at, is_crash, node) in faults {
+            queue.push(Reverse(Event {
+                time: at,
+                seq,
+                kind: if is_crash {
+                    EventKind::Crash { node }
+                } else {
+                    EventKind::Restart { node }
+                },
+            }));
+            seq += 1;
+        }
         for node in 0..n {
             queue.push(Reverse(Event {
                 time: 0,
@@ -203,13 +318,10 @@ impl<M: SimMessage> Simulation<M> {
                 break;
             }
             end_time = now;
-            let crashed = |hosts: &Vec<HostState>, node: NodeId, t: Time| -> bool {
-                hosts[node].crashed_at.is_some_and(|c| t >= c)
-            };
 
             match event.kind {
                 EventKind::Start { node } => {
-                    if crashed(&hosts, node, now) {
+                    if hosts[node].down {
                         continue;
                     }
                     let mut ctx = Context::new(now, node);
@@ -228,7 +340,7 @@ impl<M: SimMessage> Simulation<M> {
                     );
                 }
                 EventKind::Arrive { to, from, msg } => {
-                    if crashed(&hosts, to, now) {
+                    if hosts[to].down {
                         dropped += 1;
                         continue;
                     }
@@ -252,12 +364,18 @@ impl<M: SimMessage> Simulation<M> {
                             node: to,
                             from,
                             msg,
+                            incarnation: hosts[to].incarnation,
                         },
                     }));
                     seq += 1;
                 }
-                EventKind::ExecMsg { node, from, msg } => {
-                    if crashed(&hosts, node, now) {
+                EventKind::ExecMsg {
+                    node,
+                    from,
+                    msg,
+                    incarnation,
+                } => {
+                    if hosts[node].down || hosts[node].incarnation != incarnation {
                         dropped += 1;
                         continue;
                     }
@@ -277,12 +395,51 @@ impl<M: SimMessage> Simulation<M> {
                         &mut dropped,
                     );
                 }
-                EventKind::Fire { node, tag } => {
-                    if crashed(&hosts, node, now) {
+                EventKind::Fire {
+                    node,
+                    tag,
+                    incarnation,
+                } => {
+                    if hosts[node].down || hosts[node].incarnation != incarnation {
                         continue;
                     }
                     let mut ctx = Context::new(now, node);
                     self.actors[node].on_timer(tag, &mut ctx);
+                    self.apply_effects(
+                        node,
+                        ctx.drain(),
+                        now,
+                        &mut hosts,
+                        &mut queue,
+                        &mut seq,
+                        &mut rng,
+                        &mut last_arrival,
+                        &mut commits,
+                        &mut dropped,
+                    );
+                }
+                EventKind::Crash { node } => {
+                    hosts[node].down = true;
+                }
+                EventKind::Restart { node } => {
+                    let factories = self
+                        .factories
+                        .as_mut()
+                        .expect("restart schedules require Simulation::from_factories");
+                    // Drop the dead incarnation *before* building its
+                    // replacement: the old actor may hold exclusive
+                    // resources (e.g. a WAL file handle) the new one reopens.
+                    self.actors[node] = Box::new(Tombstone(std::marker::PhantomData));
+                    self.actors[node] = (factories[node])();
+                    let host = &mut hosts[node];
+                    host.down = false;
+                    host.incarnation += 1;
+                    // A rebooted machine has idle NICs and CPU.
+                    host.egress_free = now;
+                    host.ingress_free = now;
+                    host.cpu_free = now;
+                    let mut ctx = Context::new(now, node);
+                    self.actors[node].on_start(&mut ctx);
                     self.apply_effects(
                         node,
                         ctx.drain(),
@@ -380,7 +537,11 @@ impl<M: SimMessage> Simulation<M> {
                         queue.push(Reverse(Event {
                             time: at,
                             seq: *seq,
-                            kind: EventKind::Fire { node, tag },
+                            kind: EventKind::Fire {
+                                node,
+                                tag,
+                                incarnation: hosts[node].incarnation,
+                            },
                         }));
                         *seq += 1;
                     }
@@ -538,6 +699,198 @@ mod tests {
         let result = sim.run();
         assert!(result.commits.is_empty());
         assert_eq!(result.delivered, 0);
+    }
+
+    /// A periodic pinger (every 100 ms); the peer echoes; each echo commits
+    /// with `tx_count = 1`. Used by the crash/restart tests: echoes stop
+    /// while the responder is down and resume after its restart.
+    struct PeriodicPing {
+        peer: NodeId,
+        initiator: bool,
+    }
+
+    impl Actor for PeriodicPing {
+        type Message = Ping;
+
+        fn on_start(&mut self, ctx: &mut Context<Ping>) {
+            if self.initiator {
+                ctx.timer(100 * MS, 1);
+            }
+        }
+
+        fn on_timer(&mut self, _tag: u64, ctx: &mut Context<Ping>) {
+            ctx.send(self.peer, Ping { payload: 100 });
+            ctx.timer(100 * MS, 1);
+        }
+
+        fn on_message(&mut self, from: NodeId, msg: Ping, ctx: &mut Context<Ping>) {
+            if self.initiator {
+                ctx.commit(CommitEvent {
+                    tx_count: 1,
+                    ..Default::default()
+                });
+            } else {
+                ctx.send(from, msg);
+            }
+        }
+    }
+
+    fn periodic_factories() -> Vec<ActorFactory<Ping>> {
+        vec![
+            Box::new(|| {
+                Box::new(PeriodicPing {
+                    peer: 1,
+                    initiator: true,
+                })
+            }),
+            Box::new(|| {
+                Box::new(PeriodicPing {
+                    peer: 0,
+                    initiator: false,
+                })
+            }),
+        ]
+    }
+
+    #[test]
+    fn restarted_node_resumes_responding() {
+        let mut config = SimConfig::new(1, 10 * SEC);
+        config.crashes.push((1, 3 * SEC));
+        config.restarts.push((1, 6 * SEC));
+        let sim = Simulation::from_factories(
+            two_hosts(Region::UsEast1, Region::UsWest1),
+            config,
+            periodic_factories(),
+        );
+        let result = sim.run();
+        let before = result
+            .commits
+            .iter()
+            .filter(|(t, _, _)| *t < 3 * SEC)
+            .count();
+        let during = result
+            .commits
+            .iter()
+            .filter(|(t, _, _)| (3 * SEC..6 * SEC).contains(t))
+            .count();
+        let after = result
+            .commits
+            .iter()
+            .filter(|(t, _, _)| *t > 6 * SEC)
+            .count();
+        assert!(before >= 20, "echoes flow before the crash: {before}");
+        assert_eq!(during, 0, "no echoes while the responder is down");
+        assert!(after >= 20, "echoes resume after the restart: {after}");
+        assert!(result.dropped >= 20, "pings during the outage are dropped");
+    }
+
+    #[test]
+    fn restart_discards_the_old_incarnations_timers() {
+        // The *initiator* crashes and restarts. Its old incarnation's ping
+        // timer chain must die with it; the new incarnation re-arms its own
+        // from on_start. If stale timers survived, the ping rate after the
+        // restart would double.
+        let mut config = SimConfig::new(1, 12 * SEC);
+        config.crashes.push((0, 3 * SEC));
+        config.restarts.push((0, 4 * SEC));
+        let sim = Simulation::from_factories(
+            two_hosts(Region::UsEast1, Region::UsEast1),
+            config,
+            periodic_factories(),
+        );
+        let result = sim.run();
+        let tail = result
+            .commits
+            .iter()
+            .filter(|(t, _, _)| (6 * SEC..12 * SEC).contains(t))
+            .count();
+        // One ping per 100 ms over 6 s = ~60; doubled timers would give ~120.
+        assert!(
+            (50..=70).contains(&tail),
+            "steady post-restart rate: {tail}"
+        );
+    }
+
+    #[test]
+    fn restart_builds_a_fresh_actor() {
+        // An actor that commits its internal counter on every timer tick:
+        // after a restart the counter restarts from zero, proving the
+        // incarnation is fresh (recovery of state is the *store's* job).
+        struct Counter {
+            ticks: u64,
+        }
+        impl Actor for Counter {
+            type Message = Ping;
+            fn on_start(&mut self, ctx: &mut Context<Ping>) {
+                ctx.timer(SEC, 1);
+            }
+            fn on_timer(&mut self, _: u64, ctx: &mut Context<Ping>) {
+                self.ticks += 1;
+                ctx.commit(CommitEvent {
+                    tx_count: self.ticks,
+                    ..Default::default()
+                });
+                ctx.timer(SEC, 1);
+            }
+            fn on_message(&mut self, _: NodeId, _: Ping, _: &mut Context<Ping>) {}
+        }
+        let mut config = SimConfig::new(1, 8 * SEC);
+        config.crashes.push((0, (35 * SEC) / 10));
+        config.restarts.push((0, 5 * SEC));
+        let factories: Vec<ActorFactory<Ping>> = vec![
+            Box::new(|| Box::new(Counter { ticks: 0 })),
+            Box::new(|| Box::new(Counter { ticks: 0 })),
+        ];
+        let sim = Simulation::from_factories(
+            two_hosts(Region::UsEast1, Region::UsEast1),
+            config,
+            factories,
+        );
+        let result = sim.run();
+        let node0: Vec<u64> = result
+            .commits
+            .iter()
+            .filter(|(_, node, _)| *node == 0)
+            .map(|(_, _, ev)| ev.tx_count)
+            .collect();
+        // Ticks 1, 2, 3 before the crash; the counter restarts at 1 after.
+        assert_eq!(node0, vec![1, 2, 3, 1, 2, 3]);
+    }
+
+    #[test]
+    fn same_instant_restart_and_crash_pair_in_time_order() {
+        // Crash at 3s, restart at 6s, crash again at 6s: the restart closes
+        // the first outage and the same-instant crash opens the second, so
+        // the host stays down for the rest of the run.
+        let mut config = SimConfig::new(1, 10 * SEC);
+        config.crashes.push((1, 3 * SEC));
+        config.crashes.push((1, 6 * SEC));
+        config.restarts.push((1, 6 * SEC));
+        let sim = Simulation::from_factories(
+            two_hosts(Region::UsEast1, Region::UsWest1),
+            config,
+            periodic_factories(),
+        );
+        let result = sim.run();
+        let after = result
+            .commits
+            .iter()
+            // A reply already in flight at the crash instant may still land.
+            .filter(|(t, _, _)| *t > 6 * SEC + SEC)
+            .count();
+        assert_eq!(after, 0, "host stays down after the back-to-back cycle");
+    }
+
+    #[test]
+    #[should_panic(expected = "require Simulation::from_factories")]
+    fn restarts_without_factories_are_rejected() {
+        let mut config = SimConfig::new(1, SEC);
+        config.restarts.push((0, SEC / 2));
+        let _ = Simulation::new(
+            two_hosts(Region::UsEast1, Region::UsWest1),
+            config,
+            ping_actors(),
+        );
     }
 
     /// A sender that floods large messages; checks NIC serialization

@@ -70,8 +70,17 @@ impl WalStore {
                     Some((key, value, len)) => {
                         match value {
                             Some(v) => {
-                                live_bytes += (key.len() + v.len()) as u64;
-                                index.insert(key, v);
+                                // Mirror the live `append` accounting: an
+                                // overwrite replaces the old value's bytes
+                                // (the key is already counted) instead of
+                                // accruing a second full key + value.
+                                let (key_len, value_len) = (key.len() as u64, v.len() as u64);
+                                if let Some(old) = index.insert(key, v) {
+                                    live_bytes =
+                                        live_bytes.saturating_sub(old.len() as u64) + value_len;
+                                } else {
+                                    live_bytes += key_len + value_len;
+                                }
                             }
                             None => {
                                 if let Some(old) = index.remove(&key) {
@@ -138,6 +147,12 @@ impl WalStore {
     /// Current log file size in bytes (including dead records).
     pub fn log_bytes(&self) -> u64 {
         self.inner.lock().total_bytes
+    }
+
+    /// Bytes of live key + value data (excluding overwritten and deleted
+    /// records); the numerator of the compaction-pays-off heuristic.
+    pub fn live_bytes(&self) -> u64 {
+        self.inner.lock().live_bytes
     }
 
     /// Flushes buffered writes to the OS (and disk if opened durable).
@@ -351,6 +366,45 @@ mod tests {
         let s = WalStore::open(&path).unwrap();
         assert_eq!(s.get(b"a").unwrap(), Some(b"1".to_vec()));
         assert_eq!(s.get(b"b").unwrap(), None, "corrupt record dropped");
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Regression: replay used to add `key + value` for every put record
+    /// unconditionally, discarding the old value `index.insert` returned —
+    /// unlike the live `append` path — so a reopened store over-reported
+    /// `live_bytes` for any log containing overwrites, skewing the
+    /// compaction heuristic.
+    #[test]
+    fn replay_accounting_matches_fresh_write_accounting() {
+        let path = tmp("replay-acct");
+        let fresh_live = {
+            let s = WalStore::open(&path).unwrap();
+            // Overwrites (same key, different sizes), a delete, a
+            // delete-then-reinsert, and an untouched key.
+            s.put(b"hot", b"1").unwrap();
+            s.put(b"hot", b"22").unwrap();
+            s.put(b"hot", b"333").unwrap();
+            s.put(b"gone", b"xxxx").unwrap();
+            s.delete(b"gone").unwrap();
+            s.put(b"back", b"y").unwrap();
+            s.delete(b"back").unwrap();
+            s.put(b"back", b"zz").unwrap();
+            s.put(b"cold", b"value").unwrap();
+            s.flush().unwrap();
+            s.live_bytes()
+        };
+        // Ground truth: the live index holds hot=333, back=zz, cold=value.
+        assert_eq!(fresh_live, (3 + 3) + (4 + 2) + (4 + 5));
+        let replayed = WalStore::open(&path).unwrap();
+        assert_eq!(
+            replayed.live_bytes(),
+            fresh_live,
+            "replayed accounting equals fresh-write accounting"
+        );
+        assert_eq!(
+            replayed.log_bytes(),
+            std::fs::metadata(&path).unwrap().len()
+        );
         std::fs::remove_file(&path).ok();
     }
 

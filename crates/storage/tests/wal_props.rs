@@ -85,6 +85,66 @@ proptest! {
         std::fs::remove_file(&path).ok();
     }
 
+    /// The byte-accounting invariants hold at every step of an arbitrary
+    /// put/delete/overwrite/compact/reopen sequence:
+    ///
+    /// - `live_bytes` equals the model's live key + value bytes exactly
+    ///   (this is what the replay double-count bug violated);
+    /// - `live_bytes <= log_bytes`: live data cannot exceed the log that
+    ///   carries it;
+    /// - `log_bytes` matches the file on disk after a flush;
+    /// - immediately after compaction the log is exactly the live records
+    ///   (12 bytes of header per record plus the live bytes).
+    #[test]
+    fn live_and_log_byte_invariants(
+        ops in proptest::collection::vec(arb_op(), 1..50),
+        tag in any::<u64>(),
+    ) {
+        let path = tmp_path(tag);
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut wal = WalStore::open(&path).unwrap();
+        let model_live = |m: &BTreeMap<Vec<u8>, Vec<u8>>| -> u64 {
+            m.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum()
+        };
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    model.insert(k.clone(), v.clone());
+                    wal.put(k, v).unwrap();
+                }
+                Op::Delete(k) => {
+                    model.remove(k);
+                    wal.delete(k).unwrap();
+                }
+                Op::Reopen => {
+                    wal.flush().unwrap();
+                    drop(wal);
+                    wal = WalStore::open(&path).unwrap();
+                }
+                Op::Compact => {
+                    wal.compact().unwrap();
+                    prop_assert_eq!(
+                        wal.log_bytes(),
+                        model_live(&model) + 12 * model.len() as u64,
+                        "compacted log is exactly the live records"
+                    );
+                }
+            }
+            prop_assert_eq!(wal.live_bytes(), model_live(&model));
+            prop_assert!(wal.live_bytes() <= wal.log_bytes());
+        }
+        wal.flush().unwrap();
+        prop_assert_eq!(wal.log_bytes(), std::fs::metadata(&path).unwrap().len());
+        // Replay accounting equals fresh-write accounting.
+        let live_before = wal.live_bytes();
+        let log_before = wal.log_bytes();
+        drop(wal);
+        let wal = WalStore::open(&path).unwrap();
+        prop_assert_eq!(wal.live_bytes(), live_before);
+        prop_assert_eq!(wal.log_bytes(), log_before);
+        std::fs::remove_file(&path).ok();
+    }
+
     #[test]
     fn mem_and_wal_agree_on_prefix_scans(
         keys in proptest::collection::vec(arb_key(), 1..20),

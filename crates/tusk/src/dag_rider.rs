@@ -14,6 +14,7 @@
 //!   Tusk forbids them to enable garbage collection.
 
 use narwhal::{ConsensusOut, Dag, DagConsensus, NoExt};
+use nt_codec::{decode_from_slice, encode_to_vec};
 use nt_crypto::{combine_shares, CoinShare};
 use nt_types::{Certificate, Committee, Round, ValidatorId};
 
@@ -117,6 +118,24 @@ impl DagConsensus for DagRider {
 
     fn commit_counts(&self) -> (u64, u64) {
         (self.direct_commits, self.indirect_commits)
+    }
+
+    /// Same wave-walk checkpoint as Tusk (and for the same reason: coin
+    /// shares of settled waves do not survive garbage collection).
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        Some(encode_to_vec(&(
+            self.last_committed_wave,
+            self.direct_commits,
+            self.indirect_commits,
+        )))
+    }
+
+    fn restore(&mut self, checkpoint: &[u8]) {
+        if let Ok((wave, direct, indirect)) = decode_from_slice::<(u64, u64, u64)>(checkpoint) {
+            self.last_committed_wave = wave;
+            self.direct_commits = direct;
+            self.indirect_commits = indirect;
+        }
     }
 }
 

@@ -18,6 +18,7 @@
 //! validator committed directly).
 
 use narwhal::{ConsensusOut, Dag, DagConsensus, NoExt};
+use nt_codec::{decode_from_slice, encode_to_vec};
 use nt_crypto::{combine_shares, CoinShare};
 use nt_types::{Certificate, Committee, Round, ValidatorId};
 
@@ -163,6 +164,26 @@ impl DagConsensus for Tusk {
 
     fn commit_counts(&self) -> (u64, u64) {
         (self.direct_commits, self.indirect_commits)
+    }
+
+    /// Tusk *must* checkpoint: `try_decide` walks waves forward from the
+    /// last committed one, and a post-GC restart that rewound to wave 1
+    /// could never reveal wave 1's coin again (its shares were pruned) —
+    /// the walk would stall forever.
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        Some(encode_to_vec(&(
+            self.last_committed_wave,
+            self.direct_commits,
+            self.indirect_commits,
+        )))
+    }
+
+    fn restore(&mut self, checkpoint: &[u8]) {
+        if let Ok((wave, direct, indirect)) = decode_from_slice::<(u64, u64, u64)>(checkpoint) {
+            self.last_committed_wave = wave;
+            self.direct_commits = direct;
+            self.indirect_commits = indirect;
+        }
     }
 }
 
