@@ -1,0 +1,278 @@
+//! Deterministic schedule fuzzer: randomized fault exploration with safety
+//! checkers and shrinking (the paper's §5 claims as a generated,
+//! reproducible test surface).
+//!
+//! Every seed deterministically yields a fault schedule (crashes +
+//! restarts, torn WAL tails at restart, partitions that form and heal,
+//! per-link delay spikes), which runs against one of the four DAG systems
+//! (Tusk, DAG-Rider, Bullshark, Bullshark-Rep) and is judged by the
+//! checker suite (agreement, total order, commit loss, batch exactly-once,
+//! catch-up, tail liveness). On a violation the harness prints the seed,
+//! shrinks the schedule to a minimal reproducer, and emits a
+//! copy-pasteable regression test; the failing seed alone reproduces the
+//! run bit-for-bit.
+//!
+//! Usage (`cargo bench -p nt_bench --bench sim_fuzz -- [flags]`):
+//!
+//! - (no flags): a 1000-schedule corpus plus the self-test.
+//! - `--test`: the CI corpus (240 schedules, 60 per system), the
+//!   deliberate-bug self-test, and the shrinker gate.
+//! - `--seed N [--system NAME]`: replay one seed (all systems by
+//!   default), printing its schedule and any violations.
+//! - `--schedules N`: override the corpus size.
+
+use nt_bench::fuzz::{
+    self, fuzz_params, noisy_selftest_schedule, run_case, run_schedule, shrink_case, QUIET_TAIL,
+};
+use nt_bench::{regression_snippet, System, Violation};
+use nt_network::SEC;
+use nt_simnet::{FaultEvent, Schedule};
+use std::sync::Mutex;
+
+struct Failure {
+    seed: u64,
+    system: System,
+    schedule: Schedule,
+    violations: Vec<Violation>,
+}
+
+/// Runs seeds `[start, start + count)` round-robin over the four systems,
+/// in parallel, collecting failures and corpus statistics.
+fn run_corpus(start: u64, count: u64) -> (Vec<Failure>, String) {
+    let failures: Mutex<Vec<Failure>> = Mutex::new(Vec::new());
+    let totals: Mutex<(usize, usize, usize, usize, usize, f64)> = Mutex::new((0, 0, 0, 0, 0, 0.0));
+    let next = std::sync::atomic::AtomicU64::new(start);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let seed = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if seed >= start + count {
+                    return;
+                }
+                let system = fuzz::SYSTEMS[(seed % 4) as usize];
+                let (schedule, outcome) = run_case(system, seed);
+                {
+                    let mut t = totals.lock().unwrap();
+                    t.0 += schedule.events.len();
+                    for event in &schedule.events {
+                        match event {
+                            FaultEvent::Outage { tear, .. } => {
+                                t.1 += 1;
+                                t.2 += (*tear > 0) as usize;
+                            }
+                            FaultEvent::Split { .. } => t.3 += 1,
+                            FaultEvent::Spike { .. } => t.4 += 1,
+                        }
+                    }
+                    t.5 += outcome.stats.throughput_tps;
+                }
+                if !outcome.violations.is_empty() {
+                    failures.lock().unwrap().push(Failure {
+                        seed,
+                        system,
+                        schedule,
+                        violations: outcome.violations,
+                    });
+                }
+            });
+        }
+    });
+    let (events, outages, tears, splits, spikes, tps_sum) = totals.into_inner().unwrap();
+    let summary = format!(
+        "{count} schedules, {events} events ({outages} outages incl. {tears} torn tails, \
+         {splits} splits, {spikes} spikes), mean throughput {:.0} tx/s",
+        tps_sum / count as f64
+    );
+    let mut failures = failures.into_inner().unwrap();
+    failures.sort_by_key(|f| f.seed);
+    (failures, summary)
+}
+
+fn report_failure(failure: &Failure) {
+    println!();
+    println!(
+        "VIOLATION at seed {} ({}) — reproduce with:",
+        failure.seed,
+        failure.system.name()
+    );
+    println!(
+        "  cargo bench -p nt_bench --bench sim_fuzz -- --seed {} --system {}",
+        failure.seed,
+        failure.system.name()
+    );
+    println!("schedule: {}", failure.schedule.summary());
+    for violation in &failure.violations {
+        println!("  {violation}");
+    }
+    println!("shrinking to a minimal reproducer...");
+    let params = fuzz_params(failure.seed);
+    let minimal = shrink_case(
+        failure.system,
+        &params,
+        &failure.schedule,
+        Default::default(),
+    );
+    println!(
+        "minimized to {} — paste into tests/sim_fuzz_regressions.rs:",
+        minimal.summary()
+    );
+    println!();
+    println!(
+        "{}",
+        regression_snippet(failure.system, failure.seed, &minimal)
+    );
+}
+
+fn replay(seed: u64, system: Option<System>) {
+    let params = fuzz_params(seed);
+    let schedule = Schedule::generate(seed, &fuzz::fuzz_plan(&params));
+    println!("seed {seed}: {}", schedule.summary());
+    println!("{}", schedule.to_rust());
+    let systems: Vec<System> = match system {
+        Some(s) => vec![s],
+        None => fuzz::SYSTEMS.to_vec(),
+    };
+    let mut any = false;
+    for system in systems {
+        let outcome = run_schedule(system, &params, &schedule, Default::default());
+        println!(
+            "{:>13}: {} commit events, {:.0} tx/s, {} violations",
+            system.name(),
+            outcome.commit_events,
+            outcome.stats.throughput_tps,
+            outcome.violations.len()
+        );
+        for violation in &outcome.violations {
+            println!("    {violation}");
+            any = true;
+        }
+        if !outcome.violations.is_empty() {
+            report_failure(&Failure {
+                seed,
+                system,
+                schedule: schedule.clone(),
+                violations: outcome.violations,
+            });
+        }
+    }
+    assert!(!any, "seed {seed} violated an invariant");
+}
+
+/// Flips each deliberate-bug switch and asserts the checkers catch every
+/// arm that can fire under crash faults — the proof the suite is alive.
+fn self_test() {
+    println!();
+    println!("Self-test: deliberate bugs must trip the checkers");
+    let arms = fuzz::self_test();
+    let mut distinct: Vec<&'static str> = Vec::new();
+    for arm in &arms {
+        let fired: Vec<&str> = arm.fired.iter().map(|c| c.name()).collect();
+        println!(
+            "  {:<24} vs {:<13} -> {}",
+            arm.bug,
+            arm.system.name(),
+            if fired.is_empty() {
+                "(no checker fired)".to_string()
+            } else {
+                fired.join(", ")
+            }
+        );
+        if arm.expect_fire {
+            assert!(
+                !arm.fired.is_empty(),
+                "bug {} went completely undetected — the checkers are vacuous",
+                arm.bug
+            );
+        }
+        for checker in &arm.fired {
+            if !distinct.contains(&checker.name()) {
+                distinct.push(checker.name());
+            }
+        }
+    }
+    assert!(
+        distinct.len() >= 3,
+        "only {} distinct checkers tripped: {distinct:?}",
+        distinct.len()
+    );
+    println!(
+        "  {} distinct checkers tripped: {}",
+        distinct.len(),
+        distinct.join(", ")
+    );
+
+    // Shrinker gate: a noisy 6-event failing case must reduce to a handful
+    // of events (the single outage actually needed).
+    let (noisy, bugs) = noisy_selftest_schedule();
+    let params = fuzz_params(11);
+    let outcome = run_schedule(System::Bullshark, &params, &noisy, bugs);
+    assert!(
+        !outcome.violations.is_empty(),
+        "the noisy self-test case must fail pre-shrink"
+    );
+    let minimal = shrink_case(System::Bullshark, &params, &noisy, bugs);
+    println!();
+    println!("Shrinker: {} -> {}", noisy.summary(), minimal.summary());
+    println!("{}", minimal.to_rust());
+    assert!(
+        minimal.events.len() <= 5,
+        "shrinker left {} events (> 5)",
+        minimal.events.len()
+    );
+    assert!(
+        !run_schedule(System::Bullshark, &params, &minimal, bugs)
+            .violations
+            .is_empty(),
+        "the minimized schedule still fails"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_value = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let test_mode = args.iter().any(|a| a == "--test");
+    if let Some(seed) = flag_value("--seed") {
+        let seed: u64 = seed.parse().expect("--seed takes a number");
+        let system = flag_value("--system").map(|name| {
+            *fuzz::SYSTEMS
+                .iter()
+                .find(|s| s.name().eq_ignore_ascii_case(&name))
+                .unwrap_or_else(|| panic!("unknown DAG system {name}"))
+        });
+        replay(seed, system);
+        return;
+    }
+    let count: u64 = flag_value("--schedules")
+        .map(|n| n.parse().expect("--schedules takes a number"))
+        .unwrap_or(if test_mode { 240 } else { 1_000 });
+    println!(
+        "sim_fuzz: {count} random fault schedules across {} systems \
+         (20 s runs, {} s quiet tail){}",
+        fuzz::SYSTEMS.len(),
+        QUIET_TAIL / SEC,
+        if test_mode { " [test mode]" } else { "" }
+    );
+    let start = std::time::Instant::now();
+    let (failures, summary) = run_corpus(0, count);
+    println!("{summary} [{:.0}s]", start.elapsed().as_secs_f64());
+    for failure in &failures {
+        report_failure(failure);
+    }
+    self_test();
+    assert!(
+        failures.is_empty(),
+        "{} schedules violated invariants (seeds {:?})",
+        failures.len(),
+        failures.iter().map(|f| f.seed).collect::<Vec<_>>()
+    );
+    println!();
+    println!("All {count} schedules upheld every invariant; self-test checkers live.");
+}

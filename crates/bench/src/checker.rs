@@ -1,0 +1,572 @@
+//! Safety and recovery checkers for fuzzed fault schedules.
+//!
+//! The paper's correctness claims (§5: Tusk is safe under full asynchrony
+//! and live under random faults; §6: durability via the per-validator
+//! store) become machine-checkable invariants over a simulation run:
+//!
+//! - **Agreement**: all validators' committed sequences agree on their
+//!   common prefix — no two validators ever order different blocks at the
+//!   same position.
+//! - **Total order**: per validator, one block per sequence number, one
+//!   sequence number per block, and the sequence only rolls back at a
+//!   restart (replaying a torn-off suffix of the *same* order is the one
+//!   legal repeat — the store recovered a prefix of history, and the
+//!   deterministic commit rule must re-derive identical positions).
+//! - **Commit loss**: the sequence numbers a validator emits are gapless
+//!   from 1 — nothing committed vanishes across GC or restarts.
+//! - **Batch exactly-once**: no batch digest is committed inside two
+//!   different blocks (re-proposal after recovery must not double-commit
+//!   transactions).
+//! - **Catch-up**: once all faults clear, every validator's durable DAG
+//!   frontier is within `gc_depth` of the most advanced peer.
+//! - **Tail liveness**: every validator is still committing in the
+//!   fault-free quiet tail of the run.
+//!
+//! A checker fires by returning a [`Violation`]; the `sim_fuzz` harness
+//! prints the seed and schedule so any hit reproduces exactly.
+
+use narwhal::BlockStore;
+use nt_network::{NodeId, Time, SEC};
+use nt_simnet::Schedule;
+use nt_storage::DynStore;
+use nt_types::{CommitEvent, Committee, Round, ValidatorId};
+use std::collections::BTreeMap;
+
+/// Which invariant a violation broke.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Checker {
+    /// Cross-validator prefix agreement on the committed sequence.
+    Agreement,
+    /// Per-validator total order (no double commits, no silent rollbacks).
+    TotalOrder,
+    /// Gapless sequence numbers (no commit loss).
+    CommitLoss,
+    /// No batch committed inside two different blocks.
+    BatchExactlyOnce,
+    /// Post-fault durable frontier within `gc_depth` of the best peer.
+    CatchUp,
+    /// Commits still flowing in the fault-free tail.
+    TailLiveness,
+}
+
+impl Checker {
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Checker::Agreement => "agreement",
+            Checker::TotalOrder => "total-order",
+            Checker::CommitLoss => "commit-loss",
+            Checker::BatchExactlyOnce => "batch-exactly-once",
+            Checker::CatchUp => "catch-up",
+            Checker::TailLiveness => "tail-liveness",
+        }
+    }
+}
+
+/// One checker hit.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The invariant that broke.
+    pub checker: Checker,
+    /// The validator the violation was observed at, if attributable.
+    pub validator: Option<usize>,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.validator {
+            Some(v) => write!(
+                f,
+                "[{}] validator {v}: {}",
+                self.checker.name(),
+                self.detail
+            ),
+            None => write!(f, "[{}] {}", self.checker.name(), self.detail),
+        }
+    }
+}
+
+/// Everything the checkers need to judge one run.
+pub struct CheckInput<'a> {
+    /// Raw commit stream of the run.
+    pub commits: &'a [(Time, NodeId, CommitEvent)],
+    /// Committee size (primaries occupy node ids `0..nodes`).
+    pub nodes: usize,
+    /// Simulated run length.
+    pub duration: Time,
+    /// Length of the guaranteed fault-free tail window.
+    pub quiet_tail: Time,
+    /// GC window the catch-up bound is measured against.
+    pub gc_depth: u64,
+    /// The schedule the run executed (restart times gate legal rollbacks).
+    pub schedule: &'a Schedule,
+    /// Per-validator durable stores, post-run.
+    pub stores: &'a [DynStore],
+    /// The committee (store recovery verifies certificates against it).
+    pub committee: &'a Committee,
+}
+
+/// A block's identity in the total order.
+type BlockId = (Round, ValidatorId);
+
+/// Runs every checker; returns all violations found (empty = clean run).
+pub fn check_all(input: &CheckInput<'_>) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let streams = per_validator_streams(input);
+    let canonical: Vec<Vec<(u64, BlockId)>> = streams
+        .iter()
+        .enumerate()
+        .map(|(v, stream)| {
+            check_total_order(v, stream, input, &mut violations);
+            check_commit_loss(v, stream, &mut violations);
+            check_batches_exactly_once(v, stream, &mut violations);
+            canonical_sequence(stream)
+        })
+        .collect();
+    check_agreement(&canonical, &mut violations);
+    check_catch_up(input, &mut violations);
+    check_tail_liveness(&streams, input, &mut violations);
+    violations.sort_by_key(|v| (v.checker, v.validator));
+    violations
+}
+
+struct CommitRecord {
+    at: Time,
+    sequence: u64,
+    block: BlockId,
+    payload: Vec<nt_crypto::Digest>,
+}
+
+fn per_validator_streams(input: &CheckInput<'_>) -> Vec<Vec<CommitRecord>> {
+    let mut streams: Vec<Vec<CommitRecord>> = (0..input.nodes).map(|_| Vec::new()).collect();
+    for (at, node, ev) in input.commits {
+        if *node < input.nodes {
+            streams[*node].push(CommitRecord {
+                at: *at,
+                sequence: ev.sequence,
+                block: (ev.round, ev.author),
+                payload: ev.payload.iter().map(|(d, _)| *d).collect(),
+            });
+        }
+    }
+    streams
+}
+
+/// First emission per sequence number, in sequence order — the validator's
+/// canonical committed sequence once legal restart replays are collapsed.
+fn canonical_sequence(stream: &[CommitRecord]) -> Vec<(u64, BlockId)> {
+    let mut by_seq: BTreeMap<u64, BlockId> = BTreeMap::new();
+    for record in stream {
+        by_seq.entry(record.sequence).or_insert(record.block);
+    }
+    by_seq.into_iter().collect()
+}
+
+fn check_total_order(
+    v: usize,
+    stream: &[CommitRecord],
+    input: &CheckInput<'_>,
+    violations: &mut Vec<Violation>,
+) {
+    let restarts = input.schedule.restarts_of(v as u32);
+    let mut by_seq: BTreeMap<u64, BlockId> = BTreeMap::new();
+    let mut by_block: BTreeMap<BlockId, u64> = BTreeMap::new();
+    let mut prev: Option<(Time, u64)> = None;
+    for record in stream {
+        if record.sequence == 0 {
+            violations.push(Violation {
+                checker: Checker::TotalOrder,
+                validator: Some(v),
+                detail: "committed at sequence 0 (counter never assigns it)".into(),
+            });
+            continue;
+        }
+        match by_seq.get(&record.sequence) {
+            None => {
+                by_seq.insert(record.sequence, record.block);
+            }
+            Some(existing) if *existing != record.block => violations.push(Violation {
+                checker: Checker::TotalOrder,
+                validator: Some(v),
+                detail: format!(
+                    "sequence {} carries two different blocks: {existing:?} then {:?}",
+                    record.sequence, record.block
+                ),
+            }),
+            Some(_) => {}
+        }
+        match by_block.get(&record.block) {
+            None => {
+                by_block.insert(record.block, record.sequence);
+            }
+            Some(existing) if *existing != record.sequence => violations.push(Violation {
+                checker: Checker::TotalOrder,
+                validator: Some(v),
+                detail: format!(
+                    "block {:?} committed twice, at sequences {existing} and {}",
+                    record.block, record.sequence
+                ),
+            }),
+            Some(_) => {}
+        }
+        if let Some((prev_at, prev_seq)) = prev {
+            if record.sequence > prev_seq + 1 {
+                violations.push(Violation {
+                    checker: Checker::TotalOrder,
+                    validator: Some(v),
+                    detail: format!("sequence jumped {prev_seq} -> {} (gap)", record.sequence),
+                });
+            } else if record.sequence <= prev_seq {
+                // A rollback replays a torn-off suffix; legal only if the
+                // validator restarted between the two emissions.
+                let restarted_between = restarts.iter().any(|r| *r > prev_at && *r <= record.at);
+                if !restarted_between {
+                    violations.push(Violation {
+                        checker: Checker::TotalOrder,
+                        validator: Some(v),
+                        detail: format!(
+                            "sequence rolled back {prev_seq} -> {} with no restart in between",
+                            record.sequence
+                        ),
+                    });
+                }
+            }
+        } else if record.sequence != 1 {
+            violations.push(Violation {
+                checker: Checker::TotalOrder,
+                validator: Some(v),
+                detail: format!("first commit at sequence {}, not 1", record.sequence),
+            });
+        }
+        prev = Some((record.at, record.sequence));
+    }
+}
+
+fn check_commit_loss(v: usize, stream: &[CommitRecord], violations: &mut Vec<Violation>) {
+    let seqs: std::collections::BTreeSet<u64> = stream
+        .iter()
+        .map(|r| r.sequence)
+        .filter(|s| *s > 0)
+        .collect();
+    let Some(max) = seqs.iter().next_back().copied() else {
+        return;
+    };
+    let missing: Vec<u64> = (1..=max).filter(|s| !seqs.contains(s)).collect();
+    if !missing.is_empty() {
+        violations.push(Violation {
+            checker: Checker::CommitLoss,
+            validator: Some(v),
+            detail: format!(
+                "sequences lost below the high-water mark {max}: {:?}{}",
+                &missing[..missing.len().min(8)],
+                if missing.len() > 8 { " ..." } else { "" }
+            ),
+        });
+    }
+}
+
+fn check_batches_exactly_once(v: usize, stream: &[CommitRecord], violations: &mut Vec<Violation>) {
+    // Judge over the canonical stream (first emission per sequence): a
+    // legal restart replay re-commits the same block with the same payload
+    // and must not count twice.
+    let mut seen_seqs = std::collections::HashSet::new();
+    let mut batch_owner: BTreeMap<nt_crypto::Digest, BlockId> = BTreeMap::new();
+    for record in stream {
+        if !seen_seqs.insert(record.sequence) {
+            continue;
+        }
+        for digest in &record.payload {
+            match batch_owner.get(digest) {
+                None => {
+                    batch_owner.insert(*digest, record.block);
+                }
+                Some(owner) if *owner != record.block => violations.push(Violation {
+                    checker: Checker::BatchExactlyOnce,
+                    validator: Some(v),
+                    detail: format!(
+                        "batch {digest} committed in two blocks: {owner:?} and {:?}",
+                        record.block
+                    ),
+                }),
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+fn check_agreement(canonical: &[Vec<(u64, BlockId)>], violations: &mut Vec<Violation>) {
+    for (a, seq_a) in canonical.iter().enumerate() {
+        for (b, seq_b) in canonical.iter().enumerate().skip(a + 1) {
+            let common = seq_a.len().min(seq_b.len());
+            if let Some(i) = (0..common).find(|i| seq_a[*i] != seq_b[*i]) {
+                violations.push(Violation {
+                    checker: Checker::Agreement,
+                    validator: None,
+                    detail: format!(
+                        "validators {a} and {b} diverge at position {i}: \
+                         {:?} vs {:?}",
+                        seq_a[i], seq_b[i]
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn check_catch_up(input: &CheckInput<'_>, violations: &mut Vec<Violation>) {
+    let frontiers: Vec<Round> = input
+        .stores
+        .iter()
+        .map(|store| {
+            BlockStore::new(store.clone())
+                .load_dag(input.committee)
+                .expect("store readable")
+                .highest_round()
+        })
+        .collect();
+    let best = frontiers.iter().copied().max().unwrap_or(0);
+    for (v, frontier) in frontiers.iter().enumerate() {
+        if frontier + input.gc_depth < best {
+            violations.push(Violation {
+                checker: Checker::CatchUp,
+                validator: Some(v),
+                detail: format!(
+                    "durable frontier r{frontier} more than gc_depth ({}) behind the \
+                     best peer's r{best}",
+                    input.gc_depth
+                ),
+            });
+        }
+    }
+}
+
+fn check_tail_liveness(
+    streams: &[Vec<CommitRecord>],
+    input: &CheckInput<'_>,
+    violations: &mut Vec<Violation>,
+) {
+    let tail_start = input.duration - input.quiet_tail;
+    for (v, stream) in streams.iter().enumerate() {
+        let last = stream.last().map(|r| r.at);
+        match last {
+            None => violations.push(Violation {
+                checker: Checker::TailLiveness,
+                validator: Some(v),
+                detail: "never committed anything".into(),
+            }),
+            Some(at) if at < tail_start => violations.push(Violation {
+                checker: Checker::TailLiveness,
+                validator: Some(v),
+                detail: format!(
+                    "last commit at {:.1}s, before the fault-free tail ({:.1}s..)",
+                    at as f64 / SEC as f64,
+                    tail_start as f64 / SEC as f64
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_simnet::FaultEvent;
+    use nt_storage::MemStore;
+    use std::sync::Arc;
+
+    fn ev(seq: u64, round: Round, author: u32) -> CommitEvent {
+        CommitEvent {
+            sequence: seq,
+            round,
+            author: ValidatorId(author),
+            ..Default::default()
+        }
+    }
+
+    fn committee() -> Committee {
+        Committee::deterministic(2, 1, nt_crypto::Scheme::Insecure).0
+    }
+
+    fn input_over<'a>(
+        commits: &'a [(Time, NodeId, CommitEvent)],
+        schedule: &'a Schedule,
+        stores: &'a [DynStore],
+        committee: &'a Committee,
+    ) -> CheckInput<'a> {
+        CheckInput {
+            commits,
+            nodes: 2,
+            duration: 10 * SEC,
+            quiet_tail: 4 * SEC,
+            gc_depth: 50,
+            schedule,
+            stores,
+            committee,
+        }
+    }
+
+    fn mem_stores() -> Vec<DynStore> {
+        (0..2)
+            .map(|_| Arc::new(MemStore::new()) as DynStore)
+            .collect()
+    }
+
+    #[test]
+    fn clean_run_passes_every_checker() {
+        let commits: Vec<(Time, NodeId, CommitEvent)> = (1..=20)
+            .flat_map(|s| {
+                [
+                    (s * 450_000_000, 0usize, ev(s, s, (s % 2) as u32)),
+                    (s * 450_000_000 + 1, 1usize, ev(s, s, (s % 2) as u32)),
+                ]
+            })
+            .collect();
+        let schedule = Schedule::default();
+        let (stores, committee) = (mem_stores(), committee());
+        let violations = check_all(&input_over(&commits, &schedule, &stores, &committee));
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn restart_replay_of_the_same_suffix_is_legal() {
+        let schedule = Schedule {
+            events: vec![FaultEvent::Outage {
+                unit: 0,
+                at: 3 * SEC,
+                until: 5 * SEC,
+                tear: 3,
+            }],
+        };
+        // Validator 0 commits 1..=4, restarts, replays 3..=4 identically,
+        // then continues. Validator 1 saw the same order all along.
+        let mut commits = vec![
+            (SEC, 0usize, ev(1, 1, 0)),
+            (SEC + 1, 0usize, ev(2, 2, 1)),
+            (2 * SEC, 0usize, ev(3, 3, 0)),
+            (2 * SEC + 1, 0usize, ev(4, 4, 1)),
+            // restart at 5 s; rollback to the persisted prefix
+            (6 * SEC, 0usize, ev(3, 3, 0)),
+            (6 * SEC + 1, 0usize, ev(4, 4, 1)),
+            (7 * SEC, 0usize, ev(5, 5, 0)),
+        ];
+        for s in 1..=5u64 {
+            commits.push((s * 1_400_000_000, 1usize, ev(s, s, ((s + 1) % 2) as u32)));
+        }
+        let (stores, committee) = (mem_stores(), committee());
+        let violations = check_all(&input_over(&commits, &schedule, &stores, &committee));
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn rollback_without_a_restart_fires_total_order() {
+        let commits = vec![
+            (SEC, 0usize, ev(1, 1, 0)),
+            (2 * SEC, 0usize, ev(2, 2, 1)),
+            (7 * SEC, 0usize, ev(1, 1, 0)), // no restart scheduled
+        ];
+        let schedule = Schedule::default();
+        let (stores, committee) = (mem_stores(), committee());
+        let violations = check_all(&input_over(&commits, &schedule, &stores, &committee));
+        assert!(violations
+            .iter()
+            .any(|v| v.checker == Checker::TotalOrder && v.detail.contains("rolled back")));
+    }
+
+    #[test]
+    fn divergent_replay_fires_total_order() {
+        let schedule = Schedule {
+            events: vec![FaultEvent::Outage {
+                unit: 0,
+                at: 3 * SEC,
+                until: 5 * SEC,
+                tear: 1,
+            }],
+        };
+        let commits = vec![
+            (SEC, 0usize, ev(1, 1, 0)),
+            (2 * SEC, 0usize, ev(2, 2, 1)),
+            // Restarted, but replays a *different* block at sequence 2.
+            (6 * SEC, 0usize, ev(2, 2, 0)),
+            (SEC, 1usize, ev(1, 1, 0)),
+            (2 * SEC, 1usize, ev(2, 2, 1)),
+            (6 * SEC, 1usize, ev(3, 3, 0)),
+        ];
+        let (stores, committee) = (mem_stores(), committee());
+        let violations = check_all(&input_over(&commits, &schedule, &stores, &committee));
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.checker == Checker::TotalOrder
+                    && v.detail.contains("two different blocks"))
+        );
+    }
+
+    #[test]
+    fn cross_validator_divergence_fires_agreement() {
+        // Validators' canonical sequences disagree at position 1: the one
+        // cross-validator invariant everything else reduces to.
+        let commits = vec![
+            (SEC, 0usize, ev(1, 1, 0)),
+            (2 * SEC, 0usize, ev(2, 2, 1)),
+            (SEC, 1usize, ev(1, 1, 0)),
+            (2 * SEC, 1usize, ev(2, 2, 0)),
+        ];
+        let schedule = Schedule::default();
+        let (stores, committee) = (mem_stores(), committee());
+        let violations = check_all(&input_over(&commits, &schedule, &stores, &committee));
+        assert!(violations.iter().any(|v| v.checker == Checker::Agreement));
+    }
+
+    #[test]
+    fn sequence_gap_fires_commit_loss() {
+        let commits = vec![
+            (SEC, 0usize, ev(1, 1, 0)),
+            (7 * SEC, 0usize, ev(3, 3, 0)), // 2 never emitted
+        ];
+        let schedule = Schedule::default();
+        let (stores, committee) = (mem_stores(), committee());
+        let violations = check_all(&input_over(&commits, &schedule, &stores, &committee));
+        assert!(violations.iter().any(|v| v.checker == Checker::CommitLoss));
+        assert!(
+            violations.iter().any(|v| v.checker == Checker::TotalOrder),
+            "the jump itself is also a total-order hit"
+        );
+    }
+
+    #[test]
+    fn double_committed_batch_fires_exactly_once() {
+        let digest = nt_crypto::Digest::of(b"batch");
+        let mk = |seq, round, author: u32| {
+            let mut e = ev(seq, round, author);
+            e.payload = vec![(digest, nt_types::WorkerId(0))];
+            e
+        };
+        let commits = vec![
+            (SEC, 0usize, mk(1, 1, 0)),
+            (7 * SEC, 0usize, mk(2, 5, 0)), // same digest, different block
+        ];
+        let schedule = Schedule::default();
+        let (stores, committee) = (mem_stores(), committee());
+        let violations = check_all(&input_over(&commits, &schedule, &stores, &committee));
+        assert!(violations
+            .iter()
+            .any(|v| v.checker == Checker::BatchExactlyOnce));
+    }
+
+    #[test]
+    fn silent_validator_fires_tail_liveness() {
+        let commits = vec![(SEC, 0usize, ev(1, 1, 0)), (9 * SEC, 1usize, ev(1, 1, 0))];
+        let schedule = Schedule::default();
+        let (stores, committee) = (mem_stores(), committee());
+        let violations = check_all(&input_over(&commits, &schedule, &stores, &committee));
+        let tail: Vec<_> = violations
+            .iter()
+            .filter(|v| v.checker == Checker::TailLiveness)
+            .collect();
+        assert_eq!(tail.len(), 1, "{violations:?}");
+        assert_eq!(tail[0].validator, Some(0), "validator 0 stopped early");
+    }
+}

@@ -208,9 +208,22 @@ pub fn build_dag_actor_factories(
     params: &BenchParams,
     stores: &[DynStore],
 ) -> Vec<ActorFactory<tusk::TuskMsg>> {
+    build_dag_actor_factories_with_config(system, params, &params.narwhal_config(), stores)
+}
+
+/// Like [`build_dag_actor_factories`], but with an explicit
+/// [`narwhal::NarwhalConfig`] instead of the one derived from `params` —
+/// the schedule fuzzer uses this to flip deliberate-bug switches and tune
+/// the GC window per run.
+pub fn build_dag_actor_factories_with_config(
+    system: System,
+    params: &BenchParams,
+    config: &narwhal::NarwhalConfig,
+    stores: &[DynStore],
+) -> Vec<ActorFactory<tusk::TuskMsg>> {
     assert_eq!(stores.len(), params.nodes, "one store per validator");
     let (committee, kps) = Committee::deterministic(params.nodes, params.workers, Scheme::Insecure);
-    let config = params.narwhal_config();
+    let config = config.clone();
     let addr = AddressBook::new(params.nodes, params.workers);
     let seed = params.seed;
     let mut factories: Vec<ActorFactory<tusk::TuskMsg>> = Vec::new();
@@ -492,5 +505,47 @@ mod tests {
         // 3 primaries + 3 workers.
         assert_eq!(crashes.len(), 6);
         assert!(crashes.iter().all(|(node, _)| *node >= 7));
+    }
+
+    // The fuzzer's schedule generator builds on these helpers; their exact
+    // shapes are pinned so a layout change cannot silently skew generated
+    // fault schedules.
+
+    #[test]
+    fn crash_schedule_pins_exact_hosts_and_times() {
+        let params = BenchParams {
+            nodes: 4,
+            workers: 2,
+            faults: 1,
+            ..Default::default()
+        };
+        // AddressBook layout: primaries 0..4, then workers 4 + v*2 + w.
+        // Faulting the last validator (3) = primary 3, workers 10 and 11,
+        // all crashed at t = 0 and never restarted.
+        assert_eq!(crash_schedule(&params), vec![(3, 0), (10, 0), (11, 0)]);
+    }
+
+    #[test]
+    fn split_partition_pins_exact_groups_and_window() {
+        let p = split_partition(4, 1, 2 * SEC, 5 * SEC);
+        // First half (validators 0-1 with workers 4-5) vs the rest.
+        assert_eq!(p.group_a, vec![0, 4, 1, 5]);
+        assert_eq!(p.group_b, vec![2, 6, 3, 7]);
+        assert_eq!((p.from, p.until), (2 * SEC, 5 * SEC));
+        // Odd committee: the larger side keeps quorum.
+        let p = split_partition(5, 2, 0, SEC);
+        assert_eq!(p.group_a, vec![0, 5, 6, 1, 7, 8]);
+        assert_eq!(p.group_b, vec![2, 9, 10, 3, 11, 12, 4, 13, 14]);
+    }
+
+    #[test]
+    fn validator_hosts_pins_primary_then_workers() {
+        assert_eq!(validator_hosts(4, 1, ValidatorId(2)), vec![2, 6]);
+        assert_eq!(validator_hosts(4, 3, ValidatorId(1)), vec![1, 7, 8, 9]);
+        assert_eq!(
+            validator_hosts(10, 2, ValidatorId(0)),
+            vec![0, 10, 11],
+            "workers directly follow the primary block"
+        );
     }
 }

@@ -14,6 +14,53 @@ pub struct SyntheticLoad {
     pub rate_tps: f64,
 }
 
+/// Deliberate-bug switches for the schedule fuzzer's checker self-test.
+///
+/// Each switch disables one correctness mechanism the crash-recovery path
+/// depends on. The `sim_fuzz` harness flips them one at a time and asserts
+/// that its safety checkers *catch* the resulting misbehaviour — proving
+/// the checkers are live, not vacuously green. Production and benchmark
+/// code paths must leave this at `Default` (all off).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SelfTestBugs {
+    /// Do not persist ordered markers on commit: a restarted validator
+    /// forgets what it linearized and re-commits its whole history at
+    /// fresh sequence numbers.
+    pub skip_ordered_persist: bool,
+    /// Do not persist the commit-sequence counter: a restarted validator
+    /// numbers new commits from 1 again while peers continue.
+    pub skip_sequence_persist: bool,
+    /// Do not persist §3.1 vote locks before votes leave. With crash-only
+    /// faults this cannot certify an equivocation (peers keep their locks),
+    /// so no *safety* checker fires — kept as the honest demonstration that
+    /// this persist guards against Byzantine re-proposals, not crashes.
+    pub skip_vote_persist: bool,
+    /// Skip the recovery step that re-derives in-flight own payloads from
+    /// certified-but-uncommitted blocks: a restarted validator re-proposes
+    /// batches already on their way to commit, committing them twice.
+    pub skip_inflight_recovery: bool,
+    /// Disable §4.1 pull synchronization (initial requests and retries): a
+    /// validator that misses certificates never recovers them and stalls
+    /// behind the committee.
+    pub disable_cert_pull: bool,
+    /// Skip the durability barriers taken before a proposal's broadcast
+    /// leaves and after an own certificate is persisted, re-opening the
+    /// crash-consistency windows the fuzzer originally found: a torn tail
+    /// can then erase a certificate whose broadcast already left (the
+    /// restarted validator re-proposes its payload and the committee
+    /// commits it twice — seed 219), or erase the in-flight proposal slot
+    /// (the restarted validator can neither finish nor replace the round
+    /// it already signed, and the round stalls).
+    pub skip_sync_barriers: bool,
+}
+
+impl SelfTestBugs {
+    /// True if every switch is off (the only sane non-test state).
+    pub fn none(&self) -> bool {
+        *self == SelfTestBugs::default()
+    }
+}
+
 /// Tunable Narwhal parameters.
 #[derive(Clone, Debug)]
 pub struct NarwhalConfig {
@@ -40,6 +87,8 @@ pub struct NarwhalConfig {
     pub samples_per_batch: usize,
     /// If set, workers self-generate synthetic load at this rate.
     pub load: Option<SyntheticLoad>,
+    /// Deliberate-bug switches; all off outside the fuzzer's self-test.
+    pub bugs: SelfTestBugs,
 }
 
 impl Default for NarwhalConfig {
@@ -55,6 +104,7 @@ impl Default for NarwhalConfig {
             resend_delay: 1_000 * MS,
             samples_per_batch: 4,
             load: None,
+            bugs: SelfTestBugs::default(),
         }
     }
 }

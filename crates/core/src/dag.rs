@@ -191,14 +191,26 @@ impl Dag {
         queue.push_back(anchor.header_digest());
         seen.insert(anchor.header_digest());
         while let Some(digest) = queue.pop_front() {
-            if ordered.contains(&digest) {
-                continue;
-            }
             let Some(cert) = self.get_by_digest(&digest) else {
-                missing.push(digest);
+                // Already-ordered ancestors may be pruned; anything else
+                // missing means the cone is locally incomplete.
+                if !ordered.contains(&digest) {
+                    missing.push(digest);
+                }
                 continue;
             };
-            out.push(cert.clone());
+            // The walk traverses *through* ordered blocks and only filters
+            // them from the output, so the history is a pure function of
+            // the anchor's (immutable) causal cone and the ordered set.
+            // Stopping the descent at ordered blocks instead would make the
+            // result depend on which blocks happened to be ordered when
+            // paths were explored — an order-of-events artifact that a
+            // crash-recovered validator replaying from a torn ordered set
+            // would reproduce differently, forking its commit sequence
+            // (found by `sim_fuzz`).
+            if !ordered.contains(&digest) {
+                out.push(cert.clone());
+            }
             if cert.round() <= self.first_retained {
                 // Parents are pruned (or genesis has none): stop here.
                 continue;

@@ -34,7 +34,7 @@ pub mod primary;
 pub mod store;
 pub mod worker;
 
-pub use config::{NarwhalConfig, SyntheticLoad};
+pub use config::{NarwhalConfig, SelfTestBugs, SyntheticLoad};
 pub use consensus::{ConsensusOut, DagConsensus, NoConsensus, NoExt};
 pub use dag::{Dag, InsertOutcome};
 pub use deployment::AddressBook;

@@ -93,7 +93,10 @@ pub struct Primary<C: DagConsensus> {
     waiting_on_parent: HashMap<Digest, Vec<Digest>>,
     waiting_on_batch: HashMap<Digest, Vec<Digest>>,
     /// Certified blocks referenced but not yet held (pull sync, §4.1).
-    missing_certs: HashMap<Digest, MissingCert>,
+    /// Ordered map: the retry loop emits requests in iteration order, and
+    /// message order must be a pure function of state for seeded runs to
+    /// reproduce (hash-map order is randomized per process).
+    missing_certs: BTreeMap<Digest, MissingCert>,
     /// Certificates whose ancestry is incomplete, keyed by a missing parent.
     ///
     /// The DAG (and thus consensus) only ever sees certificates whose full
@@ -180,7 +183,7 @@ impl<C: DagConsensus> Primary<C> {
             pending_headers: HashMap::new(),
             waiting_on_parent: HashMap::new(),
             waiting_on_batch: HashMap::new(),
-            missing_certs: HashMap::new(),
+            missing_certs: BTreeMap::new(),
             suspended: HashMap::new(),
             suspended_digests: HashSet::new(),
             ordered: HashSet::new(),
@@ -211,11 +214,24 @@ impl<C: DagConsensus> Primary<C> {
             // deleted, so this only prunes the freshly re-inserted genesis.
             dag.gc(gc_round);
         }
-        self.round = dag.first_retained_round();
+        // Resume at the highest round our DAG holds a full quorum for
+        // (`advance_round` lifts it one further from there). Crawling up
+        // from the GC boundary instead would wedge on any hole below the
+        // frontier — e.g. a round whose certificates a torn tail half
+        // deleted — that peers have long since garbage collected and can
+        // no longer serve.
+        self.round = (dag.first_retained_round()..=dag.highest_round())
+            .rev()
+            .find(|r| dag.round_size(*r) >= self.committee.quorum_threshold())
+            .unwrap_or_else(|| dag.first_retained_round());
         self.round_entered = now;
         self.dag = dag;
-        self.ordered = store.ordered_digests().expect("block store");
-        self.sequence = store.sequence().expect("block store");
+        let (ordered, marker_seq) = store.load_ordered().expect("block store");
+        self.ordered = ordered;
+        // The counter resumes at the highest sequence any surviving marker
+        // carries; the separately-persisted floor covers markers GC
+        // deleted. Taking the max keeps both torn-tail cuts consistent.
+        self.sequence = store.sequence().expect("block store").max(marker_seq);
         self.voted = store.load_votes().expect("block store");
         self.committed_batches = store.committed_batches().expect("block store");
         self.last_proposed = self
@@ -232,15 +248,51 @@ impl<C: DagConsensus> Primary<C> {
         // once both blocks linearize. (Committed blocks' payloads are
         // covered by `committed_batches`; blocks pruned uncommitted were
         // re-injected by the pre-crash GC.)
-        for round in self.dag.first_retained_round()..=self.dag.highest_round() {
+        let inflight_rounds = if self.config.bugs.skip_inflight_recovery {
+            #[allow(clippy::reversed_empty_ranges)]
+            {
+                1..=0
+            }
+        } else {
+            self.dag.first_retained_round()..=self.dag.highest_round()
+        };
+        for round in inflight_rounds {
             if let Some(cert) = self.dag.get(round, self.me) {
-                if self.ordered.contains(&cert.header_digest()) {
-                    continue; // Already linearized: covered by committed_batches.
-                }
                 let digests: Vec<Digest> = cert.header.payload.iter().map(|(d, _)| *d).collect();
+                if self.ordered.contains(&cert.header_digest()) {
+                    // Linearized: its payload is committed, whether or not
+                    // the (later-written, thus more tearable) cb/ markers
+                    // survived the crash.
+                    self.committed_batches.extend(digests);
+                    continue;
+                }
                 if !digests.is_empty() {
                     self.own_payloads.insert(round, digests);
                 }
+            }
+        }
+        // Re-arm the in-flight proposal (see `BlockStore::put_own_header`):
+        // if our last signed proposal never certified, only its
+        // retransmission can complete the round — we may not sign a
+        // replacement, and with two validators in this state one round of
+        // a 4-validator committee would sit below quorum forever.
+        if let Some(header) = store.own_header().expect("block store") {
+            if header.round >= self.dag.first_retained_round()
+                && self.dag.get(header.round, self.me).is_none()
+            {
+                let digests: Vec<Digest> = header.payload.iter().map(|(d, _)| *d).collect();
+                if !digests.is_empty() {
+                    self.own_payloads.insert(header.round, digests);
+                }
+                let own_vote = Vote::new(
+                    &self.keypair,
+                    self.me,
+                    header.digest(),
+                    header.round,
+                    self.me,
+                );
+                self.current_votes = vec![own_vote];
+                self.current_header = Some(header);
             }
         }
         if let Some(blob) = store.consensus_checkpoint().expect("block store") {
@@ -305,6 +357,7 @@ impl<C: DagConsensus> Primary<C> {
     /// strictly in order (§5: the committed leader sequence is common to
     /// all validators, so linearization must not skip ahead).
     fn drain_anchors(&mut self, ctx: &mut Context<NarwhalMsg<C::Ext>>) {
+        let mut settled_any = false;
         while let Some(key) = self.pending_anchors.front() {
             let anchor = match key {
                 AnchorKey::Cert(cert) => cert.clone(),
@@ -339,6 +392,7 @@ impl<C: DagConsensus> Primary<C> {
                 }
                 Ok(history) => {
                     self.pending_anchors.pop_front();
+                    settled_any = true;
                     for cert in history {
                         self.commit_block(&cert, anchor.round(), ctx);
                     }
@@ -346,14 +400,25 @@ impl<C: DagConsensus> Primary<C> {
                     if gc_round > 0 {
                         self.perform_gc(gc_round);
                     }
-                    // Checkpoint consensus after every settled anchor, so a
-                    // restarted validator resumes at the next undecided wave
-                    // instead of re-walking (or deadlocking on) GC'd ones.
-                    if let Some(store) = &self.block_store {
-                        if let Some(blob) = self.consensus.checkpoint() {
-                            store.put_consensus_checkpoint(&blob).expect("block store");
-                        }
-                    }
+                }
+            }
+        }
+        // Checkpoint consensus only once every decided anchor is
+        // linearized (the queue is empty), so the persisted consensus
+        // state never runs ahead of the persisted ordered markers. The
+        // consensus plug-in advances its settled wave the moment it
+        // *decides* — possibly several waves per pass — so a per-anchor
+        // checkpoint could claim a wave whose history markers are not yet
+        // written; a torn tail cutting between them would then restart the
+        // validator with "wave settled" but its blocks unmarked, and the
+        // replay would fold those blocks into a later anchor's history,
+        // forking the commit order (found by `sim_fuzz`, seed 300). The
+        // early returns above (missing certificates) skip the checkpoint
+        // for the same reason.
+        if settled_any {
+            if let Some(store) = &self.block_store {
+                if let Some(blob) = self.consensus.checkpoint() {
+                    store.put_consensus_checkpoint(&blob).expect("block store");
                 }
             }
         }
@@ -369,8 +434,20 @@ impl<C: DagConsensus> Primary<C> {
         self.ordered.insert(digest);
         self.sequence += 1;
         if let Some(store) = &self.block_store {
-            store.put_ordered(&digest).expect("block store");
-            store.put_sequence(self.sequence).expect("block store");
+            // One record carries the marker AND its sequence number, so a
+            // torn tail can only lose whole commits — never leave the
+            // counter and the ordered set disagreeing (recovery would then
+            // renumber the replay and diverge from the committee).
+            if !self.config.bugs.skip_ordered_persist {
+                let persisted_seq = if self.config.bugs.skip_sequence_persist {
+                    0
+                } else {
+                    self.sequence
+                };
+                store
+                    .put_ordered(&digest, persisted_seq)
+                    .expect("block store");
+            }
         }
         let (direct_commits, indirect_commits) = self.consensus.commit_counts();
         let mut event = CommitEvent {
@@ -413,6 +490,21 @@ impl<C: DagConsensus> Primary<C> {
             return;
         }
         let store = self.block_store.clone();
+        // Durable GC is an intent log: record the floor sequence and the
+        // new boundary *before* any deletion. A torn tail then leaves
+        // either the full pre-GC state or "GC declared, deletes partially
+        // applied" — and recovery prunes everything at or below the
+        // declared boundary anyway, so partial deletes below it are
+        // invisible. The old order (marker last) let a tear keep some
+        // deletions while forgetting the boundary, leaving a recovered
+        // validator with a boundary round it could never assemble a quorum
+        // for — wedging it permanently (found by `sim_fuzz` seed 19).
+        if let Some(store) = &store {
+            if !self.config.bugs.skip_sequence_persist {
+                store.put_sequence(self.sequence).expect("block store");
+            }
+            store.put_gc_round(gc_round).expect("block store");
+        }
         for cert in &pruned {
             let digest = cert.header_digest();
             self.ordered.remove(&digest);
@@ -477,13 +569,12 @@ impl<C: DagConsensus> Primary<C> {
             }
         }
         // Mirror the prune in the durable store: certificates and vote
-        // locks below the boundary go, and the boundary itself is recorded
-        // so recovery resumes behind the same window.
+        // locks below the boundary go (the boundary itself was recorded
+        // up front, before the first delete).
         if let Some(store) = &store {
             let boundary = self.dag.first_retained_round();
             store.gc_certificates_below(boundary).expect("block store");
             store.gc_votes_below(boundary).expect("block store");
-            store.put_gc_round(gc_round).expect("block store");
         }
     }
 
@@ -493,7 +584,7 @@ impl<C: DagConsensus> Primary<C> {
         hint: ValidatorId,
         ctx: &mut Context<NarwhalMsg<C::Ext>>,
     ) {
-        if self.dag.contains_digest(&digest) {
+        if self.dag.contains_digest(&digest) || self.config.bugs.disable_cert_pull {
             return;
         }
         let entry = self.missing_certs.entry(digest).or_insert(MissingCert {
@@ -599,9 +690,23 @@ impl<C: DagConsensus> Primary<C> {
             .or_default()
             .insert(self.me, header.digest());
         if let Some(store) = &self.block_store {
-            store
-                .put_vote(self.round, self.me, &header.digest())
-                .expect("block store");
+            if !self.config.bugs.skip_vote_persist {
+                store
+                    .put_vote(self.round, self.me, &header.digest())
+                    .expect("block store");
+            }
+            // Persist the in-flight proposal and sync, both *before* the
+            // broadcast below leaves (effects drain after this handler):
+            // a primary that crashes between proposing and certifying can
+            // neither re-propose the round (condition 4) nor retransmit a
+            // header it no longer has — with two such losses at one round,
+            // a 4-validator committee wedges below quorum forever (found
+            // by `sim_fuzz`, seeds 19 and 378). Recovery re-arms the slot
+            // and §4.1 retransmission completes the round.
+            store.put_own_header(&header).expect("block store");
+            if !self.config.bugs.skip_sync_barriers {
+                store.barrier().expect("block store");
+            }
         }
         self.current_votes = vec![own_vote];
         self.current_header = Some(header.clone());
@@ -711,9 +816,11 @@ impl<C: DagConsensus> Primary<C> {
                 // Persist the lock *before* the vote leaves: a restarted
                 // incarnation must remember what it signed (§3.1 cond. 4).
                 if let Some(store) = &self.block_store {
-                    store
-                        .put_vote(header.round, header.author, &digest)
-                        .expect("block store");
+                    if !self.config.bugs.skip_vote_persist {
+                        store
+                            .put_vote(header.round, header.author, &digest)
+                            .expect("block store");
+                    }
                 }
             }
         }
@@ -805,6 +912,17 @@ impl<C: DagConsensus> Primary<C> {
         }
         if let Some(store) = &self.block_store {
             store.put_certificate(&cert).expect("block store");
+            // Sync before our own certificate's broadcast leaves (the
+            // effects of this handler drain after it returns): once peers
+            // can hold the certificate, a torn tail must not erase our
+            // record of having proposed its payload, or a restarted
+            // incarnation re-proposes those batches and the committee
+            // commits them twice. Found by `sim_fuzz` (seed 219) before
+            // this barrier existed; `skip_sync_barriers` re-opens the
+            // window to prove the checkers still see it.
+            if cert.origin() == self.me && !self.config.bugs.skip_sync_barriers {
+                store.barrier().expect("block store");
+            }
         }
         self.missing_certs.remove(&digest);
         // Wake any block proposal that waited on this certificate.
@@ -866,6 +984,9 @@ impl<C: DagConsensus> Primary<C> {
         // after asking a handful of validators" (§4.1).
         let n = self.committee.size() as u32;
         let mut requests: Vec<(ValidatorId, Digest)> = Vec::new();
+        if self.config.bugs.disable_cert_pull {
+            self.missing_certs.clear();
+        }
         for (digest, missing) in self.missing_certs.iter_mut() {
             if now.saturating_sub(missing.last) >= self.config.sync_retry_delay {
                 missing.attempts += 1;

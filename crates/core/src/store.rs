@@ -15,7 +15,7 @@ use crate::dag::Dag;
 use nt_codec::{decode_from_slice, encode_to_vec};
 use nt_crypto::{Digest, Hashable};
 use nt_storage::{DynStore, StoreError};
-use nt_types::{Batch, Certificate, Committee, Round, ValidatorId};
+use nt_types::{Batch, Certificate, Committee, Header, Round, ValidatorId};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Typed store for certificates, batches, and the primary's recovery
@@ -100,6 +100,7 @@ fn committed_batch_key(digest: &Digest) -> Vec<u8> {
 const CONSENSUS_KEY: &[u8] = b"k/consensus";
 const SEQUENCE_KEY: &[u8] = b"k/sequence";
 const GC_ROUND_KEY: &[u8] = b"k/gc";
+const OWN_HEADER_KEY: &[u8] = b"k/own-header";
 
 impl BlockStore {
     /// Wraps a backend store.
@@ -191,9 +192,15 @@ impl BlockStore {
         Ok(out)
     }
 
-    /// Marks a block as linearized into the committed sequence.
-    pub fn put_ordered(&self, digest: &Digest) -> Result<(), BlockStoreError> {
-        self.inner.put(&ordered_key(digest), &[])?;
+    /// Marks a block as linearized into the committed sequence at position
+    /// `sequence`. One atomic record carries both facts: a torn log tail
+    /// can lose whole commits (recovery then re-derives the same order)
+    /// but can never split a block's marker from its sequence number —
+    /// which would make the counter and the ordered set disagree and
+    /// renumber the replay.
+    pub fn put_ordered(&self, digest: &Digest, sequence: u64) -> Result<(), BlockStoreError> {
+        self.inner
+            .put(&ordered_key(digest), &sequence.to_be_bytes())?;
         Ok(())
     }
 
@@ -205,13 +212,35 @@ impl BlockStore {
 
     /// Digests of all blocks marked ordered.
     pub fn ordered_digests(&self) -> Result<HashSet<Digest>, BlockStoreError> {
+        Ok(self.load_ordered()?.0)
+    }
+
+    /// All ordered markers plus the highest sequence number they carry
+    /// (0 when none do). Recovery resumes the commit counter at
+    /// `max(this, `[`BlockStore::sequence`]`)` — the floor covers markers
+    /// deleted by garbage collection.
+    #[allow(clippy::type_complexity)]
+    pub fn load_ordered(&self) -> Result<(HashSet<Digest>, u64), BlockStoreError> {
         let mut out = HashSet::new();
+        let mut max_seq = 0u64;
         for key in self.inner.keys_with_prefix(b"o/")? {
             if key.len() == 2 + 32 {
                 out.insert(Digest(key[2..34].try_into().expect("32-byte digest")));
+                if let Some(value) = self.inner.get(&key)? {
+                    if let Ok(raw) = <[u8; 8]>::try_from(value.as_slice()) {
+                        max_seq = max_seq.max(u64::from_be_bytes(raw));
+                    }
+                }
             }
         }
-        Ok(out)
+        Ok((out, max_seq))
+    }
+
+    /// Durability fence on the backend (see [`nt_storage::Store::sync_barrier`]):
+    /// everything written so far survives any later torn tail.
+    pub fn barrier(&self) -> Result<(), BlockStoreError> {
+        self.inner.sync_barrier()?;
+        Ok(())
     }
 
     /// Persists the block digest we acknowledged for `(round, creator)`.
@@ -268,6 +297,28 @@ impl BlockStore {
         Ok(())
     }
 
+    /// Persists the primary's current in-flight proposal (one slot,
+    /// overwritten per round). A proposal is externalized the moment its
+    /// header is broadcast, but it only completes once `2f + 1` votes
+    /// return — a primary that crashes inside that window can neither
+    /// re-propose the round (§3.1 condition 4: it already signed a block
+    /// there) nor retransmit a header it no longer has, leaving the round
+    /// one certificate short forever. Recovery re-arms the slot so the
+    /// §4.1 retransmission completes the round; peers' acknowledgments are
+    /// idempotent, so re-sending the same signed header is always safe.
+    pub fn put_own_header(&self, header: &Header) -> Result<(), BlockStoreError> {
+        self.inner.put(OWN_HEADER_KEY, &encode_to_vec(header))?;
+        Ok(())
+    }
+
+    /// Reads the persisted in-flight proposal, if any.
+    pub fn own_header(&self) -> Result<Option<Header>, BlockStoreError> {
+        let Some(bytes) = self.inner.get(OWN_HEADER_KEY)? else {
+            return Ok(None);
+        };
+        Ok(decode_from_slice(&bytes).ok())
+    }
+
     /// Persists the consensus plug-in's checkpoint blob.
     pub fn put_consensus_checkpoint(&self, blob: &[u8]) -> Result<(), BlockStoreError> {
         self.inner.put(CONSENSUS_KEY, blob)?;
@@ -279,13 +330,15 @@ impl BlockStore {
         Ok(self.inner.get(CONSENSUS_KEY)?)
     }
 
-    /// Persists the primary's commit-sequence counter.
+    /// Persists the commit-sequence floor. Written right before garbage
+    /// collection deletes ordered markers, so the counter those markers
+    /// carried (see [`BlockStore::put_ordered`]) survives the deletion.
     pub fn put_sequence(&self, sequence: u64) -> Result<(), BlockStoreError> {
         self.inner.put(SEQUENCE_KEY, &sequence.to_be_bytes())?;
         Ok(())
     }
 
-    /// Reads the commit-sequence counter (0 if never written).
+    /// Reads the commit-sequence floor (0 if never written).
     pub fn sequence(&self) -> Result<u64, BlockStoreError> {
         Ok(self
             .inner
@@ -370,7 +423,7 @@ mod tests {
     use super::*;
     use nt_crypto::{KeyPair, Scheme};
     use nt_storage::MemStore;
-    use nt_types::{Header, ValidatorId, Vote, WorkerId};
+    use nt_types::{ValidatorId, Vote, WorkerId};
     use std::sync::Arc;
 
     fn store() -> BlockStore {
@@ -540,10 +593,15 @@ mod tests {
         let s = store();
         let d = Digest::of(b"ordered block");
         assert!(s.ordered_digests().unwrap().is_empty());
-        s.put_ordered(&d).unwrap();
+        s.put_ordered(&d, 7).unwrap();
         assert!(s.ordered_digests().unwrap().contains(&d));
+        let d2 = Digest::of(b"second block");
+        s.put_ordered(&d2, 9).unwrap();
+        assert_eq!(s.load_ordered().unwrap().1, 9, "markers carry sequences");
         s.delete_ordered(&d).unwrap();
+        s.delete_ordered(&d2).unwrap();
         assert!(s.ordered_digests().unwrap().is_empty());
+        assert_eq!(s.load_ordered().unwrap().1, 0);
 
         assert_eq!(s.sequence().unwrap(), 0);
         s.put_sequence(42).unwrap();

@@ -16,7 +16,7 @@ use nt_crypto::{Digest, Hashable as _};
 use nt_network::{Actor, Context, NodeId, Time};
 use nt_storage::DynStore;
 use nt_types::{Batch, Committee, Transaction, TxSample, ValidatorId, WorkerId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 const TAG_SEAL: u64 = 1;
 const TAG_RETRY: u64 = 2;
@@ -49,9 +49,13 @@ pub struct Worker<Ext: Clone + Send + 'static> {
     sample_seq: u64,
     // Replication.
     store: HashMap<Digest, Batch>,
-    pending: HashMap<Digest, PendingBatch>,
+    /// Ordered maps: the retry timer walks these to emit resends and
+    /// fetch retries, and message order must be a pure function of state
+    /// for seeded runs to reproduce (hash-map order is randomized per
+    /// process).
+    pending: BTreeMap<Digest, PendingBatch>,
     // Fetching batches the primary asked for.
-    fetching: HashMap<Digest, FetchState>,
+    fetching: BTreeMap<Digest, FetchState>,
     /// Durable write-through store (`None` = volatile, simulation default).
     block_store: Option<BlockStore>,
     _ext: std::marker::PhantomData<Ext>,
@@ -111,8 +115,8 @@ impl<Ext: Clone + Send + 'static> Worker<Ext> {
             seq: 0,
             sample_seq: 0,
             store: HashMap::new(),
-            pending: HashMap::new(),
-            fetching: HashMap::new(),
+            pending: BTreeMap::new(),
+            fetching: BTreeMap::new(),
             block_store,
             _ext: std::marker::PhantomData,
         }
@@ -420,7 +424,7 @@ impl<Ext: Clone + Send + 'static> Actor for Worker<Ext> {
                     // Already stored: (re-)report to the primary.
                     let batch = batch.clone();
                     self.report(&batch, ctx);
-                } else if let std::collections::hash_map::Entry::Vacant(e) =
+                } else if let std::collections::btree_map::Entry::Vacant(e) =
                     self.fetching.entry(digest)
                 {
                     e.insert(FetchState {

@@ -20,11 +20,17 @@
 //!   scenarios); link partitions model periods of asynchrony (Table 1).
 //!
 //! Every run is seeded and deterministic: same seed, same commit sequence.
+//! That determinism is what makes the [`fuzz`] module possible: random
+//! fault *schedules* (crashes + restarts, torn store tails, partitions,
+//! delay spikes) are sampled per seed, checked, and shrunk to minimal
+//! reproducers.
 
 pub mod cost;
+pub mod fuzz;
 pub mod sim;
 pub mod topology;
 
 pub use cost::{CostModel, SimMessage};
-pub use sim::{ActorFactory, Partition, SimConfig, SimResult, Simulation};
+pub use fuzz::{shrink, FaultEvent, FuzzPlan, Schedule};
+pub use sim::{ActorFactory, LinkSpike, Partition, RestartHook, SimConfig, SimResult, Simulation};
 pub use topology::{HostSpec, Region, Topology};

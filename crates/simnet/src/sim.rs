@@ -45,13 +45,46 @@ pub struct Partition {
 }
 
 impl Partition {
-    /// True if a message from `a` to `b` sent at `t` crosses the partition.
-    fn blocks(&self, a: NodeId, b: NodeId, t: Time) -> bool {
+    /// True if a message from `a` to `b` sent at `t` crosses the partition
+    /// and is therefore dropped. The interval is start-inclusive and
+    /// end-exclusive (`from <= t < until`), and the check is symmetric in
+    /// direction: traffic is cut both ways for the whole window.
+    pub fn crosses(&self, a: NodeId, b: NodeId, t: Time) -> bool {
         if t < self.from || t >= self.until {
             return false;
         }
         (self.group_a.contains(&a) && self.group_b.contains(&b))
             || (self.group_b.contains(&a) && self.group_a.contains(&b))
+    }
+}
+
+/// A per-link delay spike: messages between hosts `a` and `b` (either
+/// direction) sent during `[from, until)` suffer `extra` additional one-way
+/// propagation delay — a congested or flapping link, as opposed to a
+/// [`Partition`]'s total cut. Overlapping spikes on the same link do not
+/// stack; the largest applies.
+#[derive(Clone, Debug)]
+pub struct LinkSpike {
+    /// One endpoint of the link.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Spike start (inclusive).
+    pub from: Time,
+    /// Spike end (exclusive).
+    pub until: Time,
+    /// Additional one-way delay while the spike is active.
+    pub extra: Time,
+}
+
+impl LinkSpike {
+    /// True if a message from `x` to `y` sent at `t` is slowed by this
+    /// spike. Same interval semantics as [`Partition::crosses`].
+    pub fn applies(&self, x: NodeId, y: NodeId, t: Time) -> bool {
+        if t < self.from || t >= self.until {
+            return false;
+        }
+        (self.a == x && self.b == y) || (self.a == y && self.b == x)
     }
 }
 
@@ -75,6 +108,8 @@ pub struct SimConfig {
     pub restarts: Vec<(NodeId, Time)>,
     /// Link partitions.
     pub partitions: Vec<Partition>,
+    /// Per-link delay spikes.
+    pub spikes: Vec<LinkSpike>,
     /// Uniform message loss probability in `[0, 1)`.
     pub loss: f64,
 }
@@ -89,6 +124,7 @@ impl SimConfig {
             crashes: Vec::new(),
             restarts: Vec::new(),
             partitions: Vec::new(),
+            spikes: Vec::new(),
             loss: 0.0,
         }
     }
@@ -172,6 +208,13 @@ struct HostState {
 /// restart of that host.
 pub type ActorFactory<M> = Box<dyn FnMut() -> Box<dyn Actor<Message = M>> + Send>;
 
+/// Called when a host restarts, after the dead incarnation is dropped and
+/// *before* its replacement actor is built — the window in which a fault
+/// injector can mutate state the new incarnation will recover from (e.g.
+/// tear the tail of the host's durable store, simulating a crash
+/// mid-write). Arguments: the restarting host and the restart time.
+pub type RestartHook = Box<dyn FnMut(NodeId, Time) + Send>;
+
 /// Placeholder actor briefly installed while a restarting host's real
 /// actor is rebuilt (lets the dead incarnation drop first).
 struct Tombstone<M>(std::marker::PhantomData<fn() -> M>);
@@ -188,6 +231,8 @@ pub struct Simulation<M: SimMessage> {
     actors: Vec<Box<dyn Actor<Message = M>>>,
     /// Per-host factories; required for restart schedules.
     factories: Option<Vec<ActorFactory<M>>>,
+    /// Invoked on every host restart, before the factory runs.
+    restart_hook: Option<RestartHook>,
 }
 
 impl<M: SimMessage> Simulation<M> {
@@ -215,6 +260,7 @@ impl<M: SimMessage> Simulation<M> {
             config,
             actors,
             factories: None,
+            restart_hook: None,
         }
     }
 
@@ -244,7 +290,14 @@ impl<M: SimMessage> Simulation<M> {
             config,
             actors,
             factories: Some(factories),
+            restart_hook: None,
         }
+    }
+
+    /// Installs a [`RestartHook`] invoked on every host restart (fault
+    /// injection into recovered state, e.g. torn store tails).
+    pub fn set_restart_hook(&mut self, hook: RestartHook) {
+        self.restart_hook = Some(hook);
     }
 
     /// Runs to completion and returns the results.
@@ -430,6 +483,13 @@ impl<M: SimMessage> Simulation<M> {
                     // replacement: the old actor may hold exclusive
                     // resources (e.g. a WAL file handle) the new one reopens.
                     self.actors[node] = Box::new(Tombstone(std::marker::PhantomData));
+                    // Fault-injection window: the old incarnation is gone,
+                    // the new one not yet built — a restart hook may now
+                    // mutate the durable state recovery will read (e.g.
+                    // tear the store tail, as a crash mid-write would).
+                    if let Some(hook) = &mut self.restart_hook {
+                        hook(node, now);
+                    }
                     self.actors[node] = (factories[node])();
                     let host = &mut hosts[node];
                     host.down = false;
@@ -494,7 +554,7 @@ impl<M: SimMessage> Simulation<M> {
                         .config
                         .partitions
                         .iter()
-                        .any(|p| p.blocks(node, to, now))
+                        .any(|p| p.crosses(node, to, now))
                     {
                         *dropped += 1;
                         continue;
@@ -512,9 +572,19 @@ impl<M: SimMessage> Simulation<M> {
                     let ser_start = now.max(hosts[node].egress_free);
                     let ser_end = ser_start + nic;
                     hosts[node].egress_free = ser_end;
-                    // Link propagation + per-pair FIFO clamp.
+                    // Link propagation (+ any active delay spike, decided at
+                    // send time like loss and partitions) + per-pair FIFO
+                    // clamp.
                     let latency = self.topology.latency(node, to, rng);
-                    let mut arrival = ser_end + latency;
+                    let spike = self
+                        .config
+                        .spikes
+                        .iter()
+                        .filter(|s| s.applies(node, to, now))
+                        .map(|s| s.extra)
+                        .max()
+                        .unwrap_or(0);
+                    let mut arrival = ser_end + latency + spike;
                     let clamp = last_arrival.entry((node, to)).or_insert(0);
                     if arrival <= *clamp {
                         arrival = *clamp + 1;
@@ -891,6 +961,129 @@ mod tests {
             config,
             ping_actors(),
         );
+    }
+
+    #[test]
+    fn link_spike_delays_without_dropping() {
+        // Same-region ping normally echoes in ~2 ms; a 500 ms spike on the
+        // link delays both legs but the echo still arrives.
+        let run = |spikes: Vec<LinkSpike>| {
+            let mut config = SimConfig::new(7, 10 * SEC);
+            config.spikes = spikes;
+            let sim = Simulation::new(
+                two_hosts(Region::UsEast1, Region::UsEast1),
+                config,
+                ping_actors(),
+            );
+            sim.run()
+        };
+        let calm = run(vec![]);
+        let spiked = run(vec![LinkSpike {
+            a: 0,
+            b: 1,
+            from: 0,
+            until: 5 * SEC,
+            extra: 500 * MS,
+        }]);
+        assert_eq!(calm.commits.len(), 1);
+        assert_eq!(spiked.commits.len(), 1, "spikes delay, never drop");
+        assert_eq!(spiked.dropped, 0);
+        let (calm_rtt, spiked_rtt) = (calm.commits[0].2.tx_count, spiked.commits[0].2.tx_count);
+        // Two one-way legs, 500 ms extra each.
+        assert!(
+            spiked_rtt >= calm_rtt + 990 && spiked_rtt <= calm_rtt + 1_010,
+            "spiked rtt {spiked_rtt} ms vs calm {calm_rtt} ms"
+        );
+    }
+
+    #[test]
+    fn link_spike_window_is_start_inclusive_end_exclusive() {
+        let spike = LinkSpike {
+            a: 0,
+            b: 1,
+            from: SEC,
+            until: 2 * SEC,
+            extra: MS,
+        };
+        assert!(!spike.applies(0, 1, SEC - 1));
+        assert!(spike.applies(0, 1, SEC));
+        assert!(spike.applies(1, 0, 2 * SEC - 1), "both directions");
+        assert!(!spike.applies(0, 1, 2 * SEC));
+        assert!(!spike.applies(0, 2, SEC + 1), "other links unaffected");
+    }
+
+    #[test]
+    fn restart_hook_runs_between_incarnations() {
+        // The hook fires exactly once, for the restarting host, at the
+        // restart instant — after the crash, before the new actor exists.
+        use std::sync::{Arc, Mutex};
+        let calls: Arc<Mutex<Vec<(NodeId, Time)>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut config = SimConfig::new(1, 10 * SEC);
+        config.crashes.push((1, 3 * SEC));
+        config.restarts.push((1, 6 * SEC));
+        let mut sim = Simulation::from_factories(
+            two_hosts(Region::UsEast1, Region::UsWest1),
+            config,
+            periodic_factories(),
+        );
+        let sink = Arc::clone(&calls);
+        sim.set_restart_hook(Box::new(move |node, at| {
+            sink.lock().unwrap().push((node, at));
+        }));
+        let result = sim.run();
+        assert_eq!(*calls.lock().unwrap(), vec![(1, 6 * SEC)]);
+        let after = result
+            .commits
+            .iter()
+            .filter(|(t, _, _)| *t > 6 * SEC)
+            .count();
+        assert!(after >= 20, "the restarted host still comes back: {after}");
+    }
+
+    mod partition_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_group() -> impl Strategy<Value = Vec<NodeId>> {
+            proptest::collection::vec(0usize..6, 0..4)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+            /// Interval semantics of [`Partition::crosses`]: start
+            /// inclusive, end exclusive, symmetric in direction, and
+            /// zero-length windows never block anything.
+            #[test]
+            fn crosses_interval_semantics(
+                group_a in arb_group(),
+                group_b in arb_group(),
+                from in 0u64..1_000,
+                len in 0u64..1_000,
+                a in 0usize..6,
+                b in 0usize..6,
+                t in 0u64..2_200,
+            ) {
+                let p = Partition {
+                    group_a: group_a.clone(),
+                    group_b: group_b.clone(),
+                    from,
+                    until: from + len,
+                };
+                let split = (group_a.contains(&a) && group_b.contains(&b))
+                    || (group_b.contains(&a) && group_a.contains(&b));
+                let in_window = t >= from && t < from + len;
+                prop_assert_eq!(p.crosses(a, b, t), split && in_window);
+                // Symmetric in direction at every instant.
+                prop_assert_eq!(p.crosses(a, b, t), p.crosses(b, a, t));
+                // Boundary pins: active at `from` (iff non-empty window),
+                // inactive at `until`.
+                prop_assert_eq!(p.crosses(a, b, from), split && len > 0);
+                prop_assert!(!p.crosses(a, b, from + len));
+                if len == 0 {
+                    prop_assert!(!p.crosses(a, b, t), "zero-length window");
+                }
+            }
+        }
     }
 
     /// A sender that floods large messages; checks NIC serialization

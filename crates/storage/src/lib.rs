@@ -13,9 +13,11 @@
 //! Keys and values are opaque bytes; the `narwhal` crate layers a typed
 //! block store on top.
 
+pub mod journal;
 pub mod mem;
 pub mod wal;
 
+pub use journal::JournalStore;
 pub use mem::MemStore;
 pub use wal::WalStore;
 
@@ -80,6 +82,32 @@ pub trait Store: Send + Sync {
     /// True if the store holds no entries.
     fn is_empty(&self) -> Result<bool, StoreError> {
         Ok(self.len()? == 0)
+    }
+
+    /// Durability fence: everything written so far survives any later
+    /// crash (an `fsync` of the log). [`Store::tear_tail`] never discards
+    /// writes behind the latest barrier. Callers place one before
+    /// *externalizing* state — e.g. broadcasting a certificate whose
+    /// payload bookkeeping recovery will need — the classic
+    /// write-ahead-then-sync discipline. No-op for stores that are always
+    /// durable (or never, like [`MemStore`]).
+    fn sync_barrier(&self) -> Result<(), StoreError> {
+        Ok(())
+    }
+
+    /// Rolls back the most recent `ops` write operations (puts *and*
+    /// deletes), simulating a crash that lost the un-synced tail of a
+    /// write-ahead log — bounded by the latest [`Store::sync_barrier`]
+    /// (synced writes cannot tear). The surviving state is exactly the
+    /// store as it was `ops` writes ago — a consistent prefix of the write
+    /// history, which is what torn-tail recovery guarantees.
+    ///
+    /// Returns the number of operations actually discarded. Stores without
+    /// an operation log (e.g. [`MemStore`]) cannot tear and return 0; fault
+    /// injectors that need tearing use [`WalStore`] or [`JournalStore`].
+    fn tear_tail(&self, ops: usize) -> Result<usize, StoreError> {
+        let _ = ops;
+        Ok(0)
     }
 }
 

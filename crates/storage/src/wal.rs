@@ -31,6 +31,11 @@ struct Inner {
     live_bytes: u64,
     /// Total log bytes written.
     total_bytes: u64,
+    /// Records appended over the log's lifetime (including dead ones).
+    records: usize,
+    /// Records covered by the latest durability barrier ([`Store::sync_barrier`]
+    /// or the state found on open); [`Store::tear_tail`] cannot cross it.
+    synced_records: usize,
     sync_writes: bool,
 }
 
@@ -59,6 +64,7 @@ impl WalStore {
         let mut index = BTreeMap::new();
         let mut good_end: u64 = 0;
         let mut live_bytes: u64 = 0;
+        let mut replayed: usize = 0;
 
         if path.exists() {
             let mut file = File::open(&path)?;
@@ -91,6 +97,7 @@ impl WalStore {
                         }
                         pos += len;
                         good_end = pos as u64;
+                        replayed += 1;
                     }
                     None => break, // Torn tail: stop at the last good record.
                 }
@@ -111,6 +118,10 @@ impl WalStore {
                 writer: BufWriter::new(file),
                 live_bytes,
                 total_bytes: good_end,
+                records: replayed,
+                // Whatever the log held at open is on disk and therefore
+                // durable: a later tear must not touch it.
+                synced_records: replayed,
                 sync_writes,
             }),
         })
@@ -136,12 +147,86 @@ impl WalStore {
         let size = file.metadata()?.len();
         inner.writer = BufWriter::new(file);
         inner.total_bytes = size;
+        inner.records = inner.index.len();
+        // The compacted log was fsynced before the rename.
+        inner.synced_records = inner.records;
         inner.live_bytes = inner
             .index
             .iter()
             .map(|(k, v)| (k.len() + v.len()) as u64)
             .sum();
         Ok(size)
+    }
+
+    /// Discards the last `ops` records of the log, as if the process had
+    /// crashed before those appends reached disk, and rebuilds the
+    /// in-memory index from the surviving prefix. The log is truncated to
+    /// the last surviving record boundary (what [`WalStore::open`]'s
+    /// torn-tail scan would itself do to a ragged file) so the store stays
+    /// appendable in place.
+    ///
+    /// Returns the number of records discarded (at most `ops`).
+    fn tear_tail_records(&self, ops: usize) -> Result<usize, StoreError> {
+        let mut inner = self.inner.lock();
+        inner.writer.flush()?;
+        let mut file = File::open(&self.path)?;
+        let mut data = Vec::new();
+        file.read_to_end(&mut data)?;
+        drop(file);
+        // Offsets of every complete record.
+        let mut offsets: Vec<usize> = Vec::new();
+        let mut pos = 0;
+        while pos < data.len() {
+            match read_record(&data[pos..]) {
+                Some((_, _, len)) => {
+                    offsets.push(pos);
+                    pos += len;
+                }
+                None => break,
+            }
+        }
+        let tearable = offsets.len().saturating_sub(inner.synced_records);
+        let torn = ops.min(tearable);
+        if torn == 0 {
+            return Ok(0);
+        }
+        let keep = offsets.len() - torn;
+        let good_end = if keep == 0 { 0 } else { offsets[keep] };
+        let file = OpenOptions::new().write(true).open(&self.path)?;
+        file.set_len(good_end as u64)?;
+        file.sync_all()?;
+        drop(file);
+        // Rebuild the index from the surviving prefix.
+        let mut index = BTreeMap::new();
+        let mut live_bytes: u64 = 0;
+        let mut pos = 0;
+        while pos < good_end {
+            let (key, value, len) = read_record(&data[pos..]).expect("verified above");
+            match value {
+                Some(v) => {
+                    let (key_len, value_len) = (key.len() as u64, v.len() as u64);
+                    if let Some(old) = index.insert(key, v) {
+                        live_bytes = live_bytes.saturating_sub(old.len() as u64) + value_len;
+                    } else {
+                        live_bytes += key_len + value_len;
+                    }
+                }
+                None => {
+                    if let Some(old) = index.remove(&key) {
+                        live_bytes = live_bytes.saturating_sub((key.len() + old.len()) as u64);
+                    }
+                }
+            }
+            pos += len;
+        }
+        let mut file = OpenOptions::new().append(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        inner.index = index;
+        inner.writer = BufWriter::new(file);
+        inner.live_bytes = live_bytes;
+        inner.total_bytes = good_end as u64;
+        inner.records = keep;
+        Ok(torn)
     }
 
     /// Current log file size in bytes (including dead records).
@@ -174,6 +259,7 @@ impl WalStore {
             inner.writer.get_ref().sync_all()?;
         }
         inner.total_bytes += record.len() as u64;
+        inner.records += 1;
         match value {
             Some(v) => {
                 if let Some(old) = inner.index.insert(key.to_vec(), v.to_vec()) {
@@ -220,6 +306,18 @@ impl Store for WalStore {
 
     fn len(&self) -> Result<usize, StoreError> {
         Ok(self.inner.lock().index.len())
+    }
+
+    fn sync_barrier(&self) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock();
+        inner.writer.flush()?;
+        inner.writer.get_ref().sync_all()?;
+        inner.synced_records = inner.records;
+        Ok(())
+    }
+
+    fn tear_tail(&self, ops: usize) -> Result<usize, StoreError> {
+        self.tear_tail_records(ops)
     }
 }
 
@@ -438,6 +536,87 @@ mod tests {
         s.put(b"h/2", b"y").unwrap();
         s.put(b"c/1", b"z").unwrap();
         assert_eq!(s.keys_with_prefix(b"h/").unwrap().len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tear_tail_rolls_back_recent_writes() {
+        let path = tmp("tear");
+        let s = WalStore::open(&path).unwrap();
+        s.put(b"a", b"1").unwrap();
+        s.put(b"b", b"2").unwrap();
+        s.put(b"a", b"3").unwrap(); // overwrite
+        s.delete(b"b").unwrap(); // tombstone
+        assert_eq!(s.tear_tail(2).unwrap(), 2, "overwrite + delete torn");
+        // The store is exactly as it was two writes ago.
+        assert_eq!(s.get(b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(s.get(b"b").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(s.live_bytes(), 4, "accounting rebuilt from the prefix");
+        // Still appendable and durable after the tear.
+        s.put(b"c", b"4").unwrap();
+        s.flush().unwrap();
+        drop(s);
+        let s = WalStore::open(&path).unwrap();
+        assert_eq!(s.get(b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(s.get(b"b").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(s.get(b"c").unwrap(), Some(b"4".to_vec()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tear_tail_respects_sync_barriers() {
+        let path = tmp("tear-barrier");
+        let s = WalStore::open(&path).unwrap();
+        s.put(b"a", b"1").unwrap();
+        s.put(b"b", b"2").unwrap();
+        s.sync_barrier().unwrap();
+        s.put(b"c", b"3").unwrap();
+        s.put(b"d", b"4").unwrap();
+        // Only the two un-synced writes can tear, however much is asked.
+        assert_eq!(s.tear_tail(10).unwrap(), 2);
+        assert_eq!(s.get(b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(s.get(b"b").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(s.get(b"c").unwrap(), None);
+        assert_eq!(s.get(b"d").unwrap(), None);
+        assert_eq!(s.tear_tail(1).unwrap(), 0, "nothing left to tear");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopened_state_is_durable_and_untearable() {
+        let path = tmp("tear-reopen");
+        {
+            let s = WalStore::open(&path).unwrap();
+            s.put(b"a", b"1").unwrap();
+            s.put(b"b", b"2").unwrap();
+            s.flush().unwrap();
+        }
+        // Everything found on open is on disk: a tear cannot discard it.
+        let s = WalStore::open(&path).unwrap();
+        assert_eq!(s.tear_tail(5).unwrap(), 0);
+        assert_eq!(s.get(b"a").unwrap(), Some(b"1".to_vec()));
+        // Only writes made after the reopen are tearable.
+        s.put(b"c", b"3").unwrap();
+        assert_eq!(s.tear_tail(5).unwrap(), 1);
+        assert_eq!(s.get(b"c").unwrap(), None);
+        assert_eq!(s.get(b"b").unwrap(), Some(b"2".to_vec()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tear_tail_clamps_and_handles_empty() {
+        let path = tmp("tear-clamp");
+        let s = WalStore::open(&path).unwrap();
+        assert_eq!(s.tear_tail(3).unwrap(), 0, "empty log tears nothing");
+        s.put(b"a", b"1").unwrap();
+        s.put(b"b", b"2").unwrap();
+        assert_eq!(s.tear_tail(0).unwrap(), 0, "zero ops is a no-op");
+        assert_eq!(s.tear_tail(10).unwrap(), 2, "clamped to the log length");
+        assert!(s.is_empty().unwrap());
+        assert_eq!(s.log_bytes(), 0);
+        // A store torn to nothing accepts new writes.
+        s.put(b"fresh", b"x").unwrap();
+        assert_eq!(s.get(b"fresh").unwrap(), Some(b"x".to_vec()));
         std::fs::remove_file(&path).ok();
     }
 

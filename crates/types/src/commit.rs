@@ -11,7 +11,7 @@ use nt_crypto::Digest;
 /// transactions and bytes per second) and latency (via the embedded
 /// [`TxSample`]s), exactly as the paper's benchmark scripts parse client and
 /// node logs.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CommitEvent {
     /// Consensus-assigned sequence index of this block in the total order.
     pub sequence: u64,
