@@ -155,27 +155,22 @@ fn build_dag_rider_actors(
     config: &narwhal::NarwhalConfig,
     params: &BenchParams,
 ) -> Vec<Box<dyn Actor<Message = tusk::TuskMsg>>> {
-    let addr = AddressBook::new(committee.size(), params.workers);
     let mut actors: Vec<Box<dyn Actor<Message = tusk::TuskMsg>>> = Vec::new();
     for v in 0..committee.size() as u32 {
-        actors.push(Box::new(narwhal::Primary::new(
-            committee.clone(),
-            config.clone(),
-            addr,
-            nt_types::ValidatorId(v),
-            kps[v as usize].clone(),
-            tusk::DagRider::new(committee.clone(), params.seed),
-        )));
+        let primary = narwhal::NodeBuilder::new(committee.clone(), v)
+            .config(config.clone())
+            .workers_per_validator(params.workers)
+            .keypair(kps[v as usize].clone())
+            .build_primary(tusk::DagRider::new(committee.clone(), params.seed));
+        actors.push(Box::new(primary));
     }
     for v in 0..committee.size() as u32 {
         for w in 0..params.workers {
-            actors.push(Box::new(narwhal::Worker::<narwhal::NoExt>::new(
-                committee.clone(),
-                config.clone(),
-                addr,
-                nt_types::ValidatorId(v),
-                nt_types::WorkerId(w),
-            )));
+            let worker = narwhal::NodeBuilder::new(committee.clone(), v)
+                .config(config.clone())
+                .workers_per_validator(params.workers)
+                .build_worker::<narwhal::NoExt>(nt_types::WorkerId(w));
+            actors.push(Box::new(worker));
         }
     }
     actors
@@ -224,8 +219,13 @@ pub fn build_dag_actor_factories_with_config(
     assert_eq!(stores.len(), params.nodes, "one store per validator");
     let (committee, kps) = Committee::deterministic(params.nodes, params.workers, Scheme::Insecure);
     let config = config.clone();
-    let addr = AddressBook::new(params.nodes, params.workers);
+    let workers = params.workers;
     let seed = params.seed;
+    let builder = move |committee: &Committee, config: &narwhal::NarwhalConfig, v: u32| {
+        narwhal::NodeBuilder::new(committee.clone(), v)
+            .config(config.clone())
+            .workers_per_validator(workers)
+    };
     let mut factories: Vec<ActorFactory<tusk::TuskMsg>> = Vec::new();
     for v in 0..params.nodes as u32 {
         let (committee, config, kp, store) = (
@@ -234,50 +234,27 @@ pub fn build_dag_actor_factories_with_config(
             kps[v as usize].clone(),
             stores[v as usize].clone(),
         );
-        factories.push(Box::new(move || match system {
-            System::Tusk => Box::new(narwhal::Primary::with_store(
-                committee.clone(),
-                config.clone(),
-                addr,
-                ValidatorId(v),
-                kp.clone(),
-                tusk::Tusk::new(committee.clone(), seed),
-                store.clone(),
-            )),
-            System::DagRider => Box::new(narwhal::Primary::with_store(
-                committee.clone(),
-                config.clone(),
-                addr,
-                ValidatorId(v),
-                kp.clone(),
-                tusk::DagRider::new(committee.clone(), seed),
-                store.clone(),
-            )),
-            System::Bullshark => Box::new(narwhal::Primary::with_store(
-                committee.clone(),
-                config.clone(),
-                addr,
-                ValidatorId(v),
-                kp.clone(),
-                bullshark::Bullshark::new(
+        factories.push(Box::new(move || {
+            let builder = builder(&committee, &config, v)
+                .keypair(kp.clone())
+                .store(store.clone());
+            match system {
+                System::Tusk => {
+                    Box::new(builder.build_primary(tusk::Tusk::new(committee.clone(), seed)))
+                }
+                System::DagRider => {
+                    Box::new(builder.build_primary(tusk::DagRider::new(committee.clone(), seed)))
+                }
+                System::Bullshark => Box::new(builder.build_primary(bullshark::Bullshark::new(
                     committee.clone(),
                     bullshark::RoundRobin::new(&committee),
-                ),
-                store.clone(),
-            )),
-            System::BullsharkRep => Box::new(narwhal::Primary::with_store(
-                committee.clone(),
-                config.clone(),
-                addr,
-                ValidatorId(v),
-                kp.clone(),
-                bullshark::Bullshark::new(
+                ))),
+                System::BullsharkRep => Box::new(builder.build_primary(bullshark::Bullshark::new(
                     committee.clone(),
                     bullshark::Reputation::new(&committee),
-                ),
-                store.clone(),
-            )),
-            _ => panic!("{} is not a DAG-over-Narwhal system", system.name()),
+                ))),
+                _ => panic!("{} is not a DAG-over-Narwhal system", system.name()),
+            }
         }));
     }
     for v in 0..params.nodes as u32 {
@@ -288,14 +265,11 @@ pub fn build_dag_actor_factories_with_config(
                 stores[v as usize].clone(),
             );
             factories.push(Box::new(move || {
-                Box::new(narwhal::Worker::<narwhal::NoExt>::with_store(
-                    committee.clone(),
-                    config.clone(),
-                    addr,
-                    ValidatorId(v),
-                    WorkerId(w),
-                    store.clone(),
-                ))
+                Box::new(
+                    builder(&committee, &config, v)
+                        .store(store.clone())
+                        .build_worker::<narwhal::NoExt>(WorkerId(w)),
+                )
             }));
         }
     }

@@ -1,9 +1,9 @@
 //! Deployment assembly for Narwhal + Bullshark validators.
 
-use narwhal::{AddressBook, NarwhalConfig, NarwhalMsg, NoExt, Primary, Worker};
+use narwhal::{NarwhalConfig, NarwhalMsg, NoExt, NodeBuilder};
 use nt_crypto::KeyPair;
 use nt_network::Actor;
-use nt_types::{Committee, ValidatorId, WorkerId};
+use nt_types::{Committee, WorkerId};
 
 use crate::bullshark::Bullshark;
 use crate::schedule::{LeaderSchedule, Reputation, RoundRobin};
@@ -29,28 +29,23 @@ where
     S: LeaderSchedule + Clone + 'static,
 {
     let n = committee.size();
-    let addr = AddressBook::new(n, workers);
     let mut actors: Vec<Box<dyn Actor<Message = BullsharkMsg>>> = Vec::new();
     for v in 0..n as u32 {
         let bullshark = Bullshark::new(committee.clone(), schedule.clone());
-        actors.push(Box::new(Primary::new(
-            committee.clone(),
-            config.clone(),
-            addr,
-            ValidatorId(v),
-            keypairs[v as usize].clone(),
-            bullshark,
-        )));
+        let primary = NodeBuilder::new(committee.clone(), v)
+            .config(config.clone())
+            .workers_per_validator(workers)
+            .keypair(keypairs[v as usize].clone())
+            .build_primary(bullshark);
+        actors.push(Box::new(primary));
     }
     for v in 0..n as u32 {
         for w in 0..workers {
-            actors.push(Box::new(Worker::<NoExt>::new(
-                committee.clone(),
-                config.clone(),
-                addr,
-                ValidatorId(v),
-                WorkerId(w),
-            )));
+            let worker = NodeBuilder::new(committee.clone(), v)
+                .config(config.clone())
+                .workers_per_validator(workers)
+                .build_worker::<NoExt>(WorkerId(w));
+            actors.push(Box::new(worker));
         }
     }
     actors
@@ -91,6 +86,7 @@ pub fn build_bullshark_rep_actors(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use narwhal::AddressBook;
     use nt_crypto::Scheme;
 
     #[test]

@@ -1,0 +1,242 @@
+//! Length-prefixed framing and the versioned wire envelope.
+//!
+//! Real-socket transports (the `nt_runtime` crate) exchange *frames*:
+//!
+//! ```text
+//! +----------------+---------------------------------------+
+//! | length: u32 LE | envelope bytes (canonical nt_codec)   |
+//! +----------------+---------------------------------------+
+//! ```
+//!
+//! where the envelope carries the protocol version, the sender's flat
+//! `NodeId`, and the opaque encoded message payload:
+//!
+//! ```text
+//! envelope := version: u32 (LE) | sender: varint u64 | payload: Vec<u8>
+//! ```
+//!
+//! Every frame is self-describing: the first frame on a connection
+//! identifies the peer and no separate handshake is needed. A frame that
+//! fails any bound or decode check is a protocol violation — transports
+//! must drop the connection (and never panic); the peer will reconnect.
+
+use crate::{decode_from_slice, encode_to_vec, Decode, DecodeError, Encode, Reader};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Version stamped into every [`Envelope`]; bump on incompatible wire changes.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on the byte length of a single frame body.
+///
+/// Slightly above [`MAX_SEQUENCE_LEN`](crate::MAX_SEQUENCE_LEN) so a
+/// maximum-size payload still fits with envelope overhead.
+pub const MAX_FRAME_LEN: u32 = crate::MAX_SEQUENCE_LEN as u32 + 1024;
+
+/// A framed wire message: protocol version, sender id, opaque payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// Protocol version of the sender ([`PROTOCOL_VERSION`]).
+    pub version: u32,
+    /// The sender's flat `NodeId` (`u64::MAX` is the external-client id).
+    pub sender: u64,
+    /// The encoded message (interpretation is up to the application).
+    pub payload: Vec<u8>,
+}
+
+impl Envelope {
+    /// Creates an envelope at the current [`PROTOCOL_VERSION`].
+    pub fn new(sender: u64, payload: Vec<u8>) -> Self {
+        Envelope {
+            version: PROTOCOL_VERSION,
+            sender,
+            payload,
+        }
+    }
+
+    /// Encodes `msg` and wraps it in an envelope from `sender`.
+    pub fn seal<M: Encode>(sender: u64, msg: &M) -> Self {
+        Envelope::new(sender, encode_to_vec(msg))
+    }
+
+    /// Decodes the payload as an `M`, requiring full consumption.
+    pub fn open<M: Decode>(&self) -> Result<M, DecodeError> {
+        decode_from_slice(&self.payload)
+    }
+}
+
+impl Encode for Envelope {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.version.encode(buf);
+        self.sender.encode(buf);
+        self.payload.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        4 + self.sender.encoded_len() + self.payload.encoded_len()
+    }
+}
+
+impl Decode for Envelope {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Envelope {
+            version: u32::decode(reader)?,
+            sender: u64::decode(reader)?,
+            payload: Vec::<u8>::decode(reader)?,
+        })
+    }
+}
+
+/// Errors while reading a frame from a byte stream.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed (includes clean EOF mid-frame).
+    Io(io::Error),
+    /// The length prefix exceeded [`MAX_FRAME_LEN`].
+    TooLarge(u32),
+    /// The frame body was not a valid envelope.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::TooLarge(n) => write!(f, "frame length {n} exceeds bound"),
+            FrameError::Decode(e) => write!(f, "frame decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<DecodeError> for FrameError {
+    fn from(e: DecodeError) -> Self {
+        FrameError::Decode(e)
+    }
+}
+
+/// Writes one length-prefixed frame to `w` (no flush).
+pub fn write_frame(w: &mut impl Write, envelope: &Envelope) -> io::Result<()> {
+    let body = encode_to_vec(envelope);
+    debug_assert!(body.len() <= MAX_FRAME_LEN as usize, "oversized frame");
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(&body)
+}
+
+/// Reads one length-prefixed frame from `r`.
+///
+/// Blocks until a full frame arrives or the stream errors. Any malformed
+/// input yields an error — callers must treat that as fatal for the
+/// connection, not for the process.
+pub fn read_frame(r: &mut impl Read) -> Result<Envelope, FrameError> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(decode_from_slice::<Envelope>(&body)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample() -> Envelope {
+        Envelope::new(3, vec![9, 8, 7, 6, 5])
+    }
+
+    #[test]
+    fn envelope_round_trip() {
+        let env = sample();
+        let bytes = encode_to_vec(&env);
+        assert_eq!(bytes.len(), env.encoded_len());
+        let back: Envelope = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, env);
+        assert_eq!(back.version, PROTOCOL_VERSION);
+    }
+
+    #[test]
+    fn seal_open_round_trip() {
+        let env = Envelope::seal(7, &(42u64, vec![1u8, 2, 3]));
+        let (n, bytes): (u64, Vec<u8>) = env.open().unwrap();
+        assert_eq!(n, 42);
+        assert_eq!(bytes, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &sample()).unwrap();
+        write_frame(&mut wire, &Envelope::new(u64::MAX, vec![])).unwrap();
+        let mut cursor = Cursor::new(wire);
+        assert_eq!(read_frame(&mut cursor).unwrap(), sample());
+        let second = read_frame(&mut cursor).unwrap();
+        assert_eq!(second.sender, u64::MAX);
+        assert!(second.payload.is_empty());
+        // Clean EOF after the last frame.
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn truncation_at_every_point_errors_without_panic() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &sample()).unwrap();
+        for cut in 0..wire.len() {
+            let mut cursor = Cursor::new(&wire[..cut]);
+            assert!(
+                read_frame(&mut cursor).is_err(),
+                "truncation at {cut} must be an error"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_never_panics_and_never_aliases() {
+        // Flip each byte in turn: the reader must either error out or
+        // produce an envelope — never panic, never allocate unboundedly.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &sample()).unwrap();
+        for i in 0..wire.len() {
+            let mut corrupt = wire.clone();
+            corrupt[i] ^= 0xff;
+            let mut cursor = Cursor::new(corrupt);
+            let _ = read_frame(&mut cursor);
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_allocation() {
+        let mut wire = (u32::MAX).to_le_bytes().to_vec();
+        wire.extend_from_slice(&[0u8; 16]);
+        let mut cursor = Cursor::new(wire);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_in_frame_body_rejected() {
+        let env = sample();
+        let mut body = encode_to_vec(&env);
+        body.push(0xaa);
+        let mut wire = (body.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&body);
+        let mut cursor = Cursor::new(wire);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::Decode(DecodeError::TrailingBytes(1)))
+        ));
+    }
+}

@@ -26,7 +26,10 @@
 
 use std::fmt;
 
+pub mod frame;
 mod impls;
+
+pub use frame::{read_frame, write_frame, Envelope, FrameError, MAX_FRAME_LEN, PROTOCOL_VERSION};
 
 /// Errors produced while decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -22,6 +22,9 @@
 //! - [`messages`]: the wire protocol, generic over a consensus extension.
 //! - [`store`]: the typed persistent block store (the paper's RocksDB
 //!   role), with crash recovery of the DAG.
+//! - [`node`]: the [`NodeBuilder`] construction surface and the
+//!   role-agnostic [`Node`] driver API (with [`CommitStream`] taps) that
+//!   the simulator and the real-socket runtime both program against.
 //! - [`deployment`]: host layout shared by the simulator and local runtime.
 //! - [`config`]: tunable parameters with the paper's defaults.
 
@@ -30,6 +33,7 @@ pub mod consensus;
 pub mod dag;
 pub mod deployment;
 pub mod messages;
+pub mod node;
 pub mod primary;
 pub mod store;
 pub mod worker;
@@ -39,6 +43,7 @@ pub use consensus::{ConsensusOut, DagConsensus, NoConsensus, NoExt};
 pub use dag::{Dag, InsertOutcome};
 pub use deployment::AddressBook;
 pub use messages::{BatchInfo, NarwhalMsg};
+pub use node::{CommitStream, Node, NodeBuilder, NodeRole};
 pub use primary::Primary;
 pub use store::{BlockStore, BlockStoreError};
 pub use worker::Worker;

@@ -119,6 +119,7 @@ pub struct Primary<C: DagConsensus> {
 
 impl<C: DagConsensus> Primary<C> {
     /// Creates a volatile primary for validator `me` (no persistence).
+    #[deprecated(since = "0.1.0", note = "use narwhal::NodeBuilder instead")]
     pub fn new(
         committee: Committee,
         config: NarwhalConfig,
@@ -133,6 +134,7 @@ impl<C: DagConsensus> Primary<C> {
     /// Creates a primary that persists through `store` and recovers from it
     /// on start. Share the same backend with the validator's workers (the
     /// paper's per-validator RocksDB instance).
+    #[deprecated(since = "0.1.0", note = "use narwhal::NodeBuilder instead")]
     pub fn with_store(
         committee: Committee,
         config: NarwhalConfig,
@@ -153,7 +155,7 @@ impl<C: DagConsensus> Primary<C> {
         )
     }
 
-    fn build(
+    pub(crate) fn build(
         committee: Committee,
         config: NarwhalConfig,
         addr: AddressBook,
@@ -744,7 +746,14 @@ impl<C: DagConsensus> Primary<C> {
             self.maybe_vote(header, ctx);
             return;
         }
-        for parent in &missing_parents {
+        // Iterate the header's parent list, not the set: set order varies
+        // per process, and the first `CertRequest` it produces must not
+        // (replays and crash-recovery re-execution depend on it).
+        for parent in header
+            .parents
+            .iter()
+            .filter(|d| missing_parents.contains(*d))
+        {
             self.waiting_on_parent
                 .entry(*parent)
                 .or_default()
@@ -1139,14 +1148,9 @@ mod tests {
         let addr = AddressBook::new(n, 1);
         let primaries = (0..n)
             .map(|v| {
-                Primary::new(
-                    committee.clone(),
-                    NarwhalConfig::default(),
-                    addr,
-                    ValidatorId(v as u32),
-                    kps[v].clone(),
-                    NoConsensus,
-                )
+                crate::node::NodeBuilder::new(committee.clone(), v as u32)
+                    .keypair(kps[v].clone())
+                    .build_primary(NoConsensus)
             })
             .collect();
         (committee, kps, addr, primaries)
@@ -1423,15 +1427,10 @@ mod tests {
             (0..4).map(|_| Arc::new(MemStore::new()) as _).collect();
         let mut primaries: Vec<Primary<NoConsensus>> = (0..4)
             .map(|v| {
-                Primary::with_store(
-                    committee.clone(),
-                    NarwhalConfig::default(),
-                    addr,
-                    ValidatorId(v as u32),
-                    kps[v].clone(),
-                    NoConsensus,
-                    stores[v].clone(),
-                )
+                crate::node::NodeBuilder::new(committee.clone(), v)
+                    .keypair(kps[v as usize].clone())
+                    .store(stores[v as usize].clone())
+                    .build_primary(NoConsensus)
             })
             .collect();
         let mut queues: VecDeque<(NodeId, NodeId, Msg)> = VecDeque::new();
@@ -1453,15 +1452,10 @@ mod tests {
         assert!(primaries[0].round() >= 2, "round 1 certified everywhere");
 
         // Crash validator 0 and boot a fresh incarnation over its store.
-        let mut revived = Primary::with_store(
-            committee.clone(),
-            NarwhalConfig::default(),
-            addr,
-            ValidatorId(0),
-            kps[0].clone(),
-            NoConsensus,
-            stores[0].clone(),
-        );
+        let mut revived = crate::node::NodeBuilder::new(committee.clone(), 0)
+            .keypair(kps[0].clone())
+            .store(stores[0].clone())
+            .build_primary(NoConsensus);
         let mut ctx = Context::new(5 * MS, 0);
         revived.on_start(&mut ctx);
         let old = &primaries[0];
@@ -1508,15 +1502,10 @@ mod tests {
         use nt_storage::MemStore;
         use std::sync::Arc;
         let (committee, kps, _, mut volatile) = setup(4);
-        let mut durable = Primary::with_store(
-            committee,
-            NarwhalConfig::default(),
-            AddressBook::new(4, 1),
-            ValidatorId(0),
-            kps[0].clone(),
-            NoConsensus,
-            Arc::new(MemStore::new()) as _,
-        );
+        let mut durable = crate::node::NodeBuilder::new(committee, 0)
+            .keypair(kps[0].clone())
+            .store(Arc::new(MemStore::new()) as _)
+            .build_primary(NoConsensus);
         let mut ctx_v = Context::new(0, 0);
         volatile[0].on_start(&mut ctx_v);
         let mut ctx_d = Context::new(0, 0);

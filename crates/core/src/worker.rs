@@ -63,6 +63,7 @@ pub struct Worker<Ext: Clone + Send + 'static> {
 
 impl<Ext: Clone + Send + 'static> Worker<Ext> {
     /// Creates a volatile worker for slot `worker_id` of validator `me`.
+    #[deprecated(since = "0.1.0", note = "use narwhal::NodeBuilder instead")]
     pub fn new(
         committee: Committee,
         config: NarwhalConfig,
@@ -76,6 +77,7 @@ impl<Ext: Clone + Send + 'static> Worker<Ext> {
     /// Creates a worker that persists batches through `store` and recovers
     /// them on start. Share the same backend with the validator's primary
     /// (the paper's per-validator RocksDB instance).
+    #[deprecated(since = "0.1.0", note = "use narwhal::NodeBuilder instead")]
     pub fn with_store(
         committee: Committee,
         config: NarwhalConfig,
@@ -94,7 +96,7 @@ impl<Ext: Clone + Send + 'static> Worker<Ext> {
         )
     }
 
-    fn build(
+    pub(crate) fn build(
         committee: Committee,
         config: NarwhalConfig,
         addr: AddressBook,
@@ -461,13 +463,9 @@ mod tests {
         let addr = AddressBook::new(n, 1);
         let workers = (0..n as u32)
             .map(|v| {
-                Worker::new(
-                    committee.clone(),
-                    NarwhalConfig::with_load(10_000.0),
-                    addr,
-                    ValidatorId(v),
-                    WorkerId(0),
-                )
+                crate::node::NodeBuilder::new(committee.clone(), v)
+                    .config(NarwhalConfig::with_load(10_000.0))
+                    .build_worker(WorkerId(0))
             })
             .collect();
         (committee, addr, workers)
@@ -726,14 +724,10 @@ mod tests {
         use std::sync::Arc;
         let (committee, addr, _) = setup(4);
         let backend: nt_storage::DynStore = Arc::new(MemStore::new());
-        let mut worker: Worker<NoExt> = Worker::with_store(
-            committee.clone(),
-            NarwhalConfig::with_load(10_000.0),
-            addr,
-            ValidatorId(0),
-            WorkerId(0),
-            backend.clone(),
-        );
+        let mut worker: Worker<NoExt> = crate::node::NodeBuilder::new(committee.clone(), 0)
+            .config(NarwhalConfig::with_load(10_000.0))
+            .store(backend.clone())
+            .build_worker(WorkerId(0));
         // A peer batch is persisted before it is acknowledged.
         let peer_batch = Batch::synthetic(ValidatorId(1), WorkerId(0), 9, 100, 51_200, vec![]);
         let mut ctx = Context::new(0, 4);
@@ -765,14 +759,10 @@ mod tests {
         assert!(own_seq >= 1);
 
         // Crash; a fresh incarnation recovers both batches and re-reports.
-        let mut revived: Worker<NoExt> = Worker::with_store(
-            committee,
-            NarwhalConfig::with_load(10_000.0),
-            addr,
-            ValidatorId(0),
-            WorkerId(0),
-            backend,
-        );
+        let mut revived: Worker<NoExt> = crate::node::NodeBuilder::new(committee, 0)
+            .config(NarwhalConfig::with_load(10_000.0))
+            .store(backend)
+            .build_worker(WorkerId(0));
         let mut ctx = Context::new(SEC, 4);
         revived.on_start(&mut ctx);
         assert_eq!(revived.stored_batches(), 2, "both batches recovered");
@@ -796,7 +786,7 @@ mod tests {
 
     #[test]
     fn retry_timer_runs_at_the_faster_of_the_two_delays() {
-        let (committee, addr, _) = setup(4);
+        let (committee, _addr, _) = setup(4);
         // resend_delay shorter than sync_retry_delay: the timer must follow
         // the resend cadence, not quantize it up to the sync interval.
         let config = NarwhalConfig {
@@ -804,8 +794,9 @@ mod tests {
             sync_retry_delay: 500 * MS,
             ..NarwhalConfig::with_load(10_000.0)
         };
-        let mut worker: Worker<NoExt> =
-            Worker::new(committee, config, addr, ValidatorId(0), WorkerId(0));
+        let mut worker: Worker<NoExt> = crate::node::NodeBuilder::new(committee, 0)
+            .config(config)
+            .build_worker(WorkerId(0));
         let mut ctx = Context::new(0, 4);
         worker.on_start(&mut ctx);
         let delays: Vec<Time> = ctx
@@ -856,17 +847,13 @@ mod tests {
 
     #[test]
     fn real_mode_seals_at_size() {
-        let (committee, addr, _) = setup(4);
-        let mut worker: Worker<NoExt> = Worker::new(
-            committee,
-            NarwhalConfig {
+        let (committee, _addr, _) = setup(4);
+        let mut worker: Worker<NoExt> = crate::node::NodeBuilder::new(committee, 0)
+            .config(NarwhalConfig {
                 batch_bytes: 2_000,
                 ..NarwhalConfig::default()
-            },
-            addr,
-            ValidatorId(0),
-            WorkerId(0),
-        );
+            })
+            .build_worker(WorkerId(0));
         let mut sealed = 0;
         for i in 0..8 {
             let mut ctx = Context::new(i, 4);

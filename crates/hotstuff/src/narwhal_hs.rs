@@ -15,7 +15,7 @@
 use crate::config::HsConfig;
 use crate::core::{HotStuffCore, HsAction};
 use crate::types::{HsMsg, HsPayload};
-use narwhal::{AddressBook, ConsensusOut, Dag, DagConsensus, NarwhalConfig};
+use narwhal::{ConsensusOut, Dag, DagConsensus, NarwhalConfig};
 use nt_crypto::{Digest, KeyPair};
 use nt_network::Actor;
 use nt_types::{Committee, ValidatorId, WorkerId};
@@ -183,7 +183,6 @@ pub fn build_narwhal_hs_actors(
     _seed: u64,
 ) -> Vec<Box<dyn Actor<Message = narwhal::NarwhalMsg<HsMsg>>>> {
     let (committee, kps) = Committee::deterministic(n, workers, nt_crypto::Scheme::Insecure);
-    let addr = AddressBook::new(n, workers);
     let hs_config = HsConfig::default();
     let mut actors: Vec<Box<dyn Actor<Message = narwhal::NarwhalMsg<HsMsg>>>> = Vec::new();
     for v in 0..n as u32 {
@@ -193,24 +192,18 @@ pub fn build_narwhal_hs_actors(
             ValidatorId(v),
             kps[v as usize].clone(),
         );
-        actors.push(Box::new(narwhal::Primary::new(
-            committee.clone(),
-            config.clone(),
-            addr,
-            ValidatorId(v),
-            kps[v as usize].clone(),
-            consensus,
-        )));
+        let primary = narwhal::NodeBuilder::new(committee.clone(), v)
+            .config(config.clone())
+            .keypair(kps[v as usize].clone())
+            .build_primary(consensus);
+        actors.push(Box::new(primary));
     }
     for v in 0..n as u32 {
         for w in 0..workers {
-            actors.push(Box::new(narwhal::Worker::<HsMsg>::new(
-                committee.clone(),
-                config.clone(),
-                addr,
-                ValidatorId(v),
-                WorkerId(w),
-            )));
+            let worker = narwhal::NodeBuilder::new(committee.clone(), v)
+                .config(config.clone())
+                .build_worker::<HsMsg>(WorkerId(w));
+            actors.push(Box::new(worker));
         }
     }
     actors

@@ -105,6 +105,14 @@ impl<M> Context<M> {
         std::mem::take(&mut self.effects)
     }
 
+    /// Read-only view of the queued effects, without draining them.
+    ///
+    /// Hosts use this to observe what an actor produced (e.g. to tee
+    /// [`Effect::Commit`]s into a subscription) before applying the batch.
+    pub fn effects(&self) -> &[Effect<M>] {
+        &self.effects
+    }
+
     /// Number of queued effects (for tests).
     pub fn len(&self) -> usize {
         self.effects.len()

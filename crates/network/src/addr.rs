@@ -1,0 +1,65 @@
+//! Real-deployment addressing alongside the simulator's flat [`NodeId`].
+//!
+//! The simulator identifies hosts by dense [`NodeId`] integers; a real
+//! deployment additionally needs a socket address per host. [`PeerAddr`] is
+//! that second coordinate: the runtime keeps a `NodeId -> PeerAddr` table so
+//! the actors' `Effect::Send { to: NodeId, .. }` vocabulary maps onto TCP
+//! connections without the protocol code ever learning about sockets.
+//!
+//! [`NodeId`]: crate::NodeId
+
+use std::fmt;
+use std::net::SocketAddr;
+use std::str::FromStr;
+
+/// The socket address of one host (primary or worker) in a real deployment.
+///
+/// A thin newtype over [`std::net::SocketAddr`] so committee configuration
+/// and the runtime speak a domain type rather than a bare socket address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PeerAddr(pub SocketAddr);
+
+impl PeerAddr {
+    /// The underlying socket address.
+    pub fn socket_addr(&self) -> SocketAddr {
+        self.0
+    }
+}
+
+impl From<SocketAddr> for PeerAddr {
+    fn from(addr: SocketAddr) -> Self {
+        PeerAddr(addr)
+    }
+}
+
+impl fmt::Display for PeerAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl FromStr for PeerAddr {
+    type Err = std::net::AddrParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        SocketAddr::from_str(s).map(PeerAddr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let addr: PeerAddr = "127.0.0.1:9000".parse().unwrap();
+        assert_eq!(addr.to_string(), "127.0.0.1:9000");
+        assert_eq!(addr.socket_addr().port(), 9000);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!("not-an-address".parse::<PeerAddr>().is_err());
+        assert!("127.0.0.1".parse::<PeerAddr>().is_err());
+    }
+}

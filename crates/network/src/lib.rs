@@ -14,9 +14,11 @@
 //! possible while keeping the protocol code production-shaped.
 
 pub mod actor;
+pub mod addr;
 pub mod local;
 
 pub use actor::{Actor, Context, Effect, NodeId, Time, CLIENT};
+pub use addr::PeerAddr;
 pub use local::{LocalHandle, LocalRuntime};
 
 /// Nanoseconds per second.

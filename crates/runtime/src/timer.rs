@@ -1,0 +1,90 @@
+//! Monotonic timer wheel for the node driver.
+//!
+//! Actors request timers as relative delays ([`Effect::Timer`]); the driver
+//! arms them against a monotonic nanosecond clock and fires them in
+//! deadline order. Ties fire in arming order (the same guarantee the
+//! simulator's event heap gives), so protocol code observes the identical
+//! timer semantics under both hosts.
+//!
+//! [`Effect::Timer`]: nt_network::Effect::Timer
+
+use nt_network::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A deadline-ordered collection of pending timer tags.
+#[derive(Default)]
+pub struct TimerWheel {
+    heap: BinaryHeap<Reverse<(Time, u64, u64)>>,
+    seq: u64,
+}
+
+impl TimerWheel {
+    /// An empty wheel.
+    pub fn new() -> Self {
+        TimerWheel::default()
+    }
+
+    /// Arms `tag` to fire at absolute time `at` (nanoseconds).
+    pub fn arm(&mut self, at: Time, tag: u64) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((at, seq, tag)));
+    }
+
+    /// The earliest pending deadline, if any.
+    pub fn next_deadline(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse((at, _, _))| *at)
+    }
+
+    /// Pops the next timer due at or before `now`.
+    pub fn pop_due(&mut self, now: Time) -> Option<u64> {
+        match self.heap.peek() {
+            Some(Reverse((at, _, _))) if *at <= now => {
+                let Reverse((_, _, tag)) = self.heap.pop().expect("peeked");
+                Some(tag)
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of pending timers.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no timers are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_deadline_order() {
+        let mut wheel = TimerWheel::new();
+        wheel.arm(30, 3);
+        wheel.arm(10, 1);
+        wheel.arm(20, 2);
+        assert_eq!(wheel.next_deadline(), Some(10));
+        assert_eq!(wheel.pop_due(25), Some(1));
+        assert_eq!(wheel.pop_due(25), Some(2));
+        assert_eq!(wheel.pop_due(25), None, "30 not due yet");
+        assert_eq!(wheel.pop_due(30), Some(3));
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn ties_fire_in_arming_order() {
+        let mut wheel = TimerWheel::new();
+        for tag in [7, 5, 9] {
+            wheel.arm(100, tag);
+        }
+        assert_eq!(wheel.pop_due(100), Some(7));
+        assert_eq!(wheel.pop_due(100), Some(5));
+        assert_eq!(wheel.pop_due(100), Some(9));
+    }
+}

@@ -18,7 +18,7 @@ pub mod vote;
 pub use batch::{Batch, BatchPayload};
 pub use certificate::Certificate;
 pub use commit::CommitEvent;
-pub use committee::{Committee, ValidatorId, WorkerId};
+pub use committee::{Committee, ValidatorId, ValidatorInfo, WorkerId};
 pub use header::Header;
 pub use transaction::{Transaction, TxSample};
 pub use vote::Vote;

@@ -12,6 +12,8 @@
 //! - [`types`]: committee, blocks, certificates, votes, and wire messages.
 //! - [`storage`]: the persistent block store (WAL-backed key-value store).
 //! - [`network`]: sans-io actor abstractions and the threaded local runtime.
+//! - [`runtime`]: the real-socket runtime (TCP transport, node driver, the
+//!   `narwhal-node` binary for process-per-validator deployments).
 //! - [`simnet`]: the deterministic discrete-event WAN simulator.
 //! - [`narwhal`]: the Narwhal mempool (primary, workers, synchronizer, GC).
 //! - [`tusk`]: the Tusk asynchronous consensus (and the DAG-Rider variant).
@@ -27,6 +29,7 @@ pub use nt_codec as codec;
 pub use nt_crypto as crypto;
 pub use nt_hotstuff as hotstuff;
 pub use nt_network as network;
+pub use nt_runtime as runtime;
 pub use nt_simnet as simnet;
 pub use nt_storage as storage;
 pub use nt_types as types;

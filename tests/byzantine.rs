@@ -2,7 +2,7 @@
 //! shares. These cross the crypto/types/narwhal crate boundaries, using the
 //! real Ed25519 scheme so signature checks are actually load-bearing.
 
-use narwhal::{AddressBook, Dag, InsertOutcome, NarwhalConfig, NoConsensus, NoExt, Primary};
+use narwhal::{Dag, InsertOutcome, NoConsensus, NoExt, NodeBuilder, Primary};
 use nt_crypto::{CoinShare, Digest, Hashable, KeyPair, Scheme};
 use nt_network::{Context, Effect};
 use nt_types::{Certificate, Committee, Header, ValidatorId, Vote, WorkerId};
@@ -11,15 +11,9 @@ type Msg = narwhal::NarwhalMsg<NoExt>;
 
 fn setup() -> (Committee, Vec<KeyPair>, Primary<NoConsensus>) {
     let (committee, kps) = Committee::deterministic(4, 1, Scheme::Ed25519);
-    let addr = AddressBook::new(4, 1);
-    let mut primary = Primary::new(
-        committee.clone(),
-        NarwhalConfig::default(),
-        addr,
-        ValidatorId(0),
-        kps[0].clone(),
-        NoConsensus,
-    );
+    let mut primary = NodeBuilder::new(committee.clone(), 0)
+        .keypair(kps[0].clone())
+        .build_primary(NoConsensus);
     let mut ctx = Context::new(0, 0);
     use nt_network::Actor;
     primary.on_start(&mut ctx);
