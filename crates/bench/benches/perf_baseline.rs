@@ -1,0 +1,66 @@
+//! Emits the machine-readable perf baseline (`BENCH_<n>.json`).
+//!
+//! Usage (`cargo bench -p nt_bench --bench perf_baseline -- [flags]`):
+//!
+//! - (no flags): the full matrix (4 DAG systems × committees of 4/10/20,
+//!   30 s runs), written to `BENCH_7.json` at the repository root.
+//! - `--test`: a quick one-committee matrix written to a scratch path and
+//!   sanity-checked — the CI smoke profile.
+//! - `--out PATH`: override the output path.
+//!
+//! Everything recorded is a simulated quantity, so the file is a
+//! deterministic function of the code: later PRs regenerate it and diff.
+
+use nt_bench::baseline::{render_json, run_baseline};
+
+const ISSUE: u64 = 7;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--test");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| {
+            let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+            if quick {
+                format!("{root}/target/BENCH_{ISSUE}_quick.json")
+            } else {
+                format!("{root}/BENCH_{ISSUE}.json")
+            }
+        });
+    println!(
+        "perf_baseline: {} matrix -> {out_path}",
+        if quick { "quick" } else { "full" }
+    );
+    let start = std::time::Instant::now();
+    let entries = run_baseline(quick);
+    let json = render_json(ISSUE, quick, &entries);
+    for entry in &entries {
+        println!(
+            "  {:>13} n={:<3} {:>8.0} tx/s  p50 {:>5.2}s  p99 {:>5.2}s  decision {:>4.2} rounds",
+            entry.system.name(),
+            entry.nodes,
+            entry.stats.throughput_tps,
+            entry.stats.p50_latency_s,
+            entry.stats.p99_latency_s,
+            entry.stats.decision_rounds,
+        );
+        // Every matrix point must have committed real load: a baseline of
+        // zeros would let any later "speedup" pass vacuously.
+        assert!(
+            entry.stats.throughput_tps > 500.0,
+            "{} n={} committed almost nothing",
+            entry.system.name(),
+            entry.nodes
+        );
+        assert!(entry.stats.p99_latency_s > 0.0 && entry.stats.p99_latency_s < 30.0);
+    }
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    println!(
+        "wrote {} entries in {:.0}s",
+        entries.len(),
+        start.elapsed().as_secs_f64()
+    );
+}

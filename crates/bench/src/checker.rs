@@ -14,6 +14,13 @@
 //!   deterministic commit rule must re-derive identical positions).
 //! - **Commit loss**: the sequence numbers a validator emits are gapless
 //!   from 1 — nothing committed vanishes across GC or restarts.
+//!
+//! Snapshot state transfer adds one *licensed* discontinuity: a validator
+//! that fell past the GC horizon installs a signed snapshot at checkpoint
+//! sequence `I` and resumes emitting at `I + 1` without ever emitting the
+//! skipped range. The install leaves a durable marker
+//! ([`BlockStore::snapshot_installs`]); total-order and commit-loss accept
+//! exactly the jumps and gaps a marker covers, and nothing else.
 //! - **Batch exactly-once**: no batch digest is committed inside two
 //!   different blocks (re-proposal after recovery must not double-commit
 //!   transactions).
@@ -115,12 +122,23 @@ type BlockId = (Round, ValidatorId);
 pub fn check_all(input: &CheckInput<'_>) -> Vec<Violation> {
     let mut violations = Vec::new();
     let streams = per_validator_streams(input);
+    // Durable snapshot-install markers license the one legal sequence
+    // discontinuity (resume at marker + 1 after state transfer).
+    let installs: Vec<Vec<u64>> = input
+        .stores
+        .iter()
+        .map(|store| {
+            BlockStore::new(store.clone())
+                .snapshot_installs()
+                .expect("store readable")
+        })
+        .collect();
     let canonical: Vec<Vec<(u64, BlockId)>> = streams
         .iter()
         .enumerate()
         .map(|(v, stream)| {
-            check_total_order(v, stream, input, &mut violations);
-            check_commit_loss(v, stream, &mut violations);
+            check_total_order(v, stream, input, &installs[v], &mut violations);
+            check_commit_loss(v, stream, &installs[v], &mut violations);
             check_batches_exactly_once(v, stream, &mut violations);
             canonical_sequence(stream)
         })
@@ -168,9 +186,15 @@ fn check_total_order(
     v: usize,
     stream: &[CommitRecord],
     input: &CheckInput<'_>,
+    installs: &[u64],
     violations: &mut Vec<Violation>,
 ) {
     let restarts = input.schedule.restarts_of(v as u32);
+    // A forward jump (or a first commit above 1) is legal exactly when a
+    // snapshot install at the preceding sequence licenses the resumption.
+    let licensed_resume = |first_new_seq: u64| -> bool {
+        first_new_seq > 0 && installs.contains(&(first_new_seq - 1))
+    };
     let mut by_seq: BTreeMap<u64, BlockId> = BTreeMap::new();
     let mut by_block: BTreeMap<BlockId, u64> = BTreeMap::new();
     let mut prev: Option<(Time, u64)> = None;
@@ -213,11 +237,13 @@ fn check_total_order(
         }
         if let Some((prev_at, prev_seq)) = prev {
             if record.sequence > prev_seq + 1 {
-                violations.push(Violation {
-                    checker: Checker::TotalOrder,
-                    validator: Some(v),
-                    detail: format!("sequence jumped {prev_seq} -> {} (gap)", record.sequence),
-                });
+                if !licensed_resume(record.sequence) {
+                    violations.push(Violation {
+                        checker: Checker::TotalOrder,
+                        validator: Some(v),
+                        detail: format!("sequence jumped {prev_seq} -> {} (gap)", record.sequence),
+                    });
+                }
             } else if record.sequence <= prev_seq {
                 // A rollback replays a torn-off suffix; legal only if the
                 // validator restarted between the two emissions.
@@ -233,7 +259,7 @@ fn check_total_order(
                     });
                 }
             }
-        } else if record.sequence != 1 {
+        } else if record.sequence != 1 && !licensed_resume(record.sequence) {
             violations.push(Violation {
                 checker: Checker::TotalOrder,
                 validator: Some(v),
@@ -244,7 +270,12 @@ fn check_total_order(
     }
 }
 
-fn check_commit_loss(v: usize, stream: &[CommitRecord], violations: &mut Vec<Violation>) {
+fn check_commit_loss(
+    v: usize,
+    stream: &[CommitRecord],
+    installs: &[u64],
+    violations: &mut Vec<Violation>,
+) {
     let seqs: std::collections::BTreeSet<u64> = stream
         .iter()
         .map(|r| r.sequence)
@@ -253,7 +284,12 @@ fn check_commit_loss(v: usize, stream: &[CommitRecord], violations: &mut Vec<Vio
     let Some(max) = seqs.iter().next_back().copied() else {
         return;
     };
-    let missing: Vec<u64> = (1..=max).filter(|s| !seqs.contains(s)).collect();
+    // Sequences at or below a snapshot-install marker were transferred as
+    // state, not emitted locally — skipping them is not loss.
+    let covered = installs.iter().copied().max().unwrap_or(0);
+    let missing: Vec<u64> = (1..=max)
+        .filter(|s| !seqs.contains(s) && *s > covered)
+        .collect();
     if !missing.is_empty() {
         violations.push(Violation {
             checker: Checker::CommitLoss,
@@ -297,17 +333,25 @@ fn check_batches_exactly_once(v: usize, stream: &[CommitRecord], violations: &mu
 }
 
 fn check_agreement(canonical: &[Vec<(u64, BlockId)>], violations: &mut Vec<Violation>) {
+    // Keyed by sequence number, not by position: a snapshot-installed
+    // validator's stream legally skips the transferred range, so streams
+    // may cover different sequence sets — but wherever two validators both
+    // emitted a sequence, the block must match.
     for (a, seq_a) in canonical.iter().enumerate() {
         for (b, seq_b) in canonical.iter().enumerate().skip(a + 1) {
-            let common = seq_a.len().min(seq_b.len());
-            if let Some(i) = (0..common).find(|i| seq_a[*i] != seq_b[*i]) {
+            let blocks_b: BTreeMap<u64, BlockId> = seq_b.iter().copied().collect();
+            if let Some((s, block_a, block_b)) = seq_a.iter().find_map(|(s, block_a)| {
+                blocks_b
+                    .get(s)
+                    .filter(|block_b| *block_b != block_a)
+                    .map(|block_b| (*s, *block_a, *block_b))
+            }) {
                 violations.push(Violation {
                     checker: Checker::Agreement,
                     validator: None,
                     detail: format!(
-                        "validators {a} and {b} diverge at position {i}: \
-                         {:?} vs {:?}",
-                        seq_a[i], seq_b[i]
+                        "validators {a} and {b} diverge at sequence {s}: \
+                         {block_a:?} vs {block_b:?}"
                     ),
                 });
             }
@@ -533,6 +577,83 @@ mod tests {
         assert!(
             violations.iter().any(|v| v.checker == Checker::TotalOrder),
             "the jump itself is also a total-order hit"
+        );
+    }
+
+    #[test]
+    fn snapshot_install_marker_licenses_jump_and_gap() {
+        // Validator 0 fell behind, installed a snapshot at sequence 59 and
+        // resumed at 60 — the jump and the never-emitted 3..=59 are licensed
+        // by the durable install marker.
+        let commits = vec![
+            (SEC, 0usize, ev(1, 1, 0)),
+            (2 * SEC, 0usize, ev(2, 2, 1)),
+            (9 * SEC, 0usize, ev(60, 70, 0)),
+            (SEC, 1usize, ev(1, 1, 0)),
+            (2 * SEC, 1usize, ev(2, 2, 1)),
+            (9 * SEC, 1usize, ev(3, 3, 0)),
+        ];
+        let schedule = Schedule::default();
+        let (stores, committee) = (mem_stores(), committee());
+        BlockStore::new(stores[0].clone())
+            .put_snapshot_install(59)
+            .unwrap();
+        let violations = check_all(&input_over(&commits, &schedule, &stores, &committee));
+        assert!(violations.is_empty(), "{violations:?}");
+        // Without the marker, the same stream is a total-order jump plus
+        // commit loss.
+        let bare = mem_stores();
+        let violations = check_all(&input_over(&commits, &schedule, &bare, &committee));
+        assert!(violations.iter().any(|v| v.checker == Checker::TotalOrder));
+        assert!(violations.iter().any(|v| v.checker == Checker::CommitLoss));
+    }
+
+    #[test]
+    fn snapshot_install_marker_licenses_fresh_joiner_start() {
+        // A brand-new validator joins via snapshot: its first commit is
+        // marker + 1, never 1.
+        let commits = vec![
+            (9 * SEC, 0usize, ev(60, 70, 0)),
+            (SEC, 1usize, ev(1, 1, 0)),
+            (9 * SEC, 1usize, ev(2, 2, 1)),
+        ];
+        let schedule = Schedule::default();
+        let (stores, committee) = (mem_stores(), committee());
+        BlockStore::new(stores[0].clone())
+            .put_snapshot_install(59)
+            .unwrap();
+        let violations = check_all(&input_over(&commits, &schedule, &stores, &committee));
+        assert!(violations.is_empty(), "{violations:?}");
+        let bare = mem_stores();
+        let violations = check_all(&input_over(&commits, &schedule, &bare, &committee));
+        assert!(violations
+            .iter()
+            .any(|v| v.checker == Checker::TotalOrder && v.detail.contains("first commit")));
+    }
+
+    #[test]
+    fn agreement_still_fires_across_a_licensed_gap() {
+        // The installed validator's post-transfer commits must still agree
+        // with peers at equal sequence numbers.
+        let commits = vec![
+            (9 * SEC, 0usize, ev(60, 70, 0)),
+            (SEC, 1usize, ev(1, 1, 0)),
+            (9 * SEC - 60, 1usize, ev(60, 70, 1)), // different block at 60
+        ];
+        let schedule = Schedule::default();
+        let (stores, committee) = (mem_stores(), committee());
+        BlockStore::new(stores[0].clone())
+            .put_snapshot_install(59)
+            .unwrap();
+        // Keep validator 1's own stream internally legal for the test's
+        // purpose: it has its own gap, licensed too.
+        BlockStore::new(stores[1].clone())
+            .put_snapshot_install(59)
+            .unwrap();
+        let violations = check_all(&input_over(&commits, &schedule, &stores, &committee));
+        assert!(
+            violations.iter().any(|v| v.checker == Checker::Agreement),
+            "{violations:?}"
         );
     }
 

@@ -46,10 +46,10 @@ pub const QUIET_TAIL: Time = 6 * SEC;
 
 /// GC window for fuzz runs: small enough that GC triggers within a run
 /// (the commit-loss-across-GC surface — rounds advance at roughly 4/s, so
-/// GC starts pruning near t = 11 s, inside the fault window), large enough
-/// that the plan's bounded fault mass (9 s ≈ 35 rounds) cannot push a
-/// validator past it (which would need the still-open state-transfer
-/// path, not a safety bug).
+/// GC starts pruning near t = 11 s, inside the fault window) *and* small
+/// enough that the plan's long outages (up to 12 s ≈ 48 rounds) push a
+/// validator past it, exercising snapshot state transfer — the only way
+/// back once per-certificate sync finds its history pruned.
 pub const FUZZ_GC_DEPTH: u64 = 40;
 
 /// Bench parameters for one fuzz run; `seed` drives the schedule, the
@@ -66,9 +66,21 @@ pub fn fuzz_params(seed: u64) -> BenchParams {
 }
 
 /// The generation envelope matching [`fuzz_params`].
+///
+/// Snapshot state transfer relaxed the soundness envelope: the default
+/// plan keeps every outage short enough that per-certificate sync can
+/// close the gap inside the GC window, but snapshot-capable validators
+/// recover from arbitrarily long outages, so fuzz runs allow a single
+/// unit to stay down past `FUZZ_GC_DEPTH` rounds (≈ 10 s). The per-unit
+/// 3 s recovery gap between consecutive outages stays — a restarted
+/// validator still needs real time to fetch and install before the next
+/// crash discards its in-flight transfer.
 pub fn fuzz_plan(params: &BenchParams) -> FuzzPlan {
     let mut plan = FuzzPlan::new(params.nodes as u32, params.duration);
     plan.quiet_tail = QUIET_TAIL;
+    plan.max_window = 12 * SEC;
+    plan.unit_downtime = 12 * SEC;
+    plan.fault_mass = 16 * SEC;
     plan
 }
 
@@ -91,6 +103,10 @@ pub struct FuzzOutcome {
     pub stats: RunStats,
     /// Commit events observed (all validators).
     pub commit_events: usize,
+    /// Per-validator snapshot-install markers left in the durable stores
+    /// (checkpoint sequences; non-empty = that validator recovered via
+    /// state transfer rather than per-certificate sync).
+    pub snapshot_installs: Vec<Vec<u64>>,
 }
 
 /// Runs `schedule` against `system` and checks every invariant.
@@ -146,10 +162,19 @@ pub fn run_schedule(
         stores: &stores,
         committee: &committee,
     });
+    let snapshot_installs = stores
+        .iter()
+        .map(|store| {
+            narwhal::BlockStore::new(store.clone())
+                .snapshot_installs()
+                .expect("store readable")
+        })
+        .collect();
     FuzzOutcome {
         violations,
         stats: RunStats::from_result(&result, params.duration, nodes),
         commit_events: result.commits.len(),
+        snapshot_installs,
     }
 }
 
@@ -250,6 +275,10 @@ pub fn self_test() -> Vec<SelfTestArm> {
     // A long mid-run outage: peers advance ~12 rounds while the victim is
     // down, recovery has real catch-up work.
     let long_outages = vec![outage(6_000, 9_000, 0), outage(8_000, 11_000, 5)];
+    // An outage past the GC horizon (> FUZZ_GC_DEPTH rounds ≈ 10 s): peers
+    // prune the victim's missing history, so only snapshot state transfer
+    // brings it back — with snapshots disabled it stalls forever.
+    let past_gc_outages = vec![outage(1_500, 13_500, 0), outage(2_000, 13_000, 0)];
     // Short outages: the restarted validator rejoins at (nearly) the live
     // round, so a wrongly re-proposed payload actually certifies instead
     // of dying in a stale-round block peers dismiss.
@@ -284,9 +313,9 @@ pub fn self_test() -> Vec<SelfTestArm> {
         ],
     };
     let torn_outages = vec![
-        (11, torn_outage(10_100, 12)),
         (219, torn_outage(10_100, 12)),
-        (219, torn_outage(9_700, 16)),
+        (219, torn_outage(9_700, 20)),
+        (11, torn_outage(10_100, 12)),
         (7, torn_outage(9_700, 16)),
     ];
     let bug = |f: fn(&mut SelfTestBugs)| {
@@ -340,6 +369,13 @@ pub fn self_test() -> Vec<SelfTestArm> {
             bug(|b| b.skip_sync_barriers = true),
             System::BullsharkRep,
             torn_outages.clone(),
+            true,
+        ),
+        (
+            "disable_snapshots",
+            bug(|b| b.disable_snapshots = true),
+            System::Tusk,
+            seeded(past_gc_outages.clone()),
             true,
         ),
         (

@@ -15,12 +15,14 @@
 //! | `ablation_commit_lemmas` | Lemmas 3-5 statistics |
 //! | `micro` | criterion micro-benchmarks (crypto, codec, DAG ops) |
 //! | `sim_fuzz` | §5 safety/liveness under randomized fault schedules |
+//! | `perf_baseline` | machine-readable `BENCH_<n>.json` perf baseline |
 //!
 //! The harness runs every system on the discrete-event simulator with the
 //! paper's WAN topology and reports throughput (committed tx/s in the
 //! steady-state window) and latency (client submission to commit at the
 //! proposing validator), exactly the two metrics of §7.
 
+pub mod baseline;
 pub mod checker;
 pub mod fuzz;
 pub mod metrics;
@@ -34,7 +36,8 @@ pub use fuzz::{fuzz_params, regression_snippet, run_case, run_schedule, shrink_c
 pub use metrics::{committed_sequences, sequences_prefix_consistent, RunStats};
 pub use params::BenchParams;
 pub use runner::{
-    build_dag_actor_factories, build_dag_actor_factories_with_config, build_dag_actors,
-    run_actors_result, run_factories_result, run_system, validator_hosts, System,
+    build_dag_actor_factories, build_dag_actor_factories_with_app,
+    build_dag_actor_factories_with_config, build_dag_actors, run_actors_result,
+    run_factories_result, run_system, validator_hosts, System,
 };
 pub use table::print_series;

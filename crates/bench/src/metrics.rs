@@ -41,6 +41,12 @@ pub struct RunStats {
     pub total_txs: u64,
     /// Number of latency samples observed.
     pub samples: usize,
+    /// Commit events shed by lagging [`narwhal::CommitStream`] subscribers,
+    /// summed over the run's streams. Always 0 on the simulator (the DES
+    /// host observes commit effects losslessly); real-runtime collectors
+    /// fill it via [`RunStats::record_lag_drops`] so silent loss shows up
+    /// in the same stats row as the throughput it distorted.
+    pub lag_drops: u64,
 }
 
 impl RunStats {
@@ -138,12 +144,19 @@ impl RunStats {
             indirect_commits,
             total_txs,
             samples: latencies.len(),
+            lag_drops: 0,
         }
     }
 
     /// Convenience: build from a [`SimResult`].
     pub fn from_result(result: &SimResult, duration: Time, creators: usize) -> RunStats {
         Self::from_commits(&result.commits, duration, creators)
+    }
+
+    /// Folds in commits dropped by a lagging subscriber (see
+    /// [`narwhal::CommitStream::dropped`]).
+    pub fn record_lag_drops(&mut self, dropped: u64) {
+        self.lag_drops += dropped;
     }
 }
 

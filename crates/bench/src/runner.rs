@@ -216,6 +216,23 @@ pub fn build_dag_actor_factories_with_config(
     config: &narwhal::NarwhalConfig,
     stores: &[DynStore],
 ) -> Vec<ActorFactory<tusk::TuskMsg>> {
+    build_dag_actor_factories_with_app(system, params, config, stores, false)
+}
+
+/// Like [`build_dag_actor_factories_with_config`], but optionally attaching
+/// a fresh [`nt_execution::LedgerApp`] to every primary (`ledger = true`):
+/// commits then carry real `app_root`s and the validators produce durable,
+/// signable app snapshots. Each factory invocation builds a *fresh* engine,
+/// so a restarted primary replays (or snapshot-restores) its way back to
+/// the committee's state — exactly the purity property
+/// `tests/app_root_purity.rs` checks.
+pub fn build_dag_actor_factories_with_app(
+    system: System,
+    params: &BenchParams,
+    config: &narwhal::NarwhalConfig,
+    stores: &[DynStore],
+    ledger: bool,
+) -> Vec<ActorFactory<tusk::TuskMsg>> {
     assert_eq!(stores.len(), params.nodes, "one store per validator");
     let (committee, kps) = Committee::deterministic(params.nodes, params.workers, Scheme::Insecure);
     let config = config.clone();
@@ -235,9 +252,12 @@ pub fn build_dag_actor_factories_with_config(
             stores[v as usize].clone(),
         );
         factories.push(Box::new(move || {
-            let builder = builder(&committee, &config, v)
+            let mut builder = builder(&committee, &config, v)
                 .keypair(kp.clone())
                 .store(store.clone());
+            if ledger {
+                builder = builder.execution(Box::new(nt_execution::LedgerApp::new()));
+            }
             match system {
                 System::Tusk => {
                     Box::new(builder.build_primary(tusk::Tusk::new(committee.clone(), seed)))

@@ -52,6 +52,12 @@ pub struct SelfTestBugs {
     /// (the restarted validator can neither finish nor replace the round
     /// it already signed, and the round stalls).
     pub skip_sync_barriers: bool,
+    /// Disable snapshot production, serving and fetching: a validator that
+    /// falls more than `gc_depth` rounds behind has no state-transfer path
+    /// left and stalls behind the committee forever (the pre-snapshot
+    /// behaviour, kept so the fuzzer can prove the snapshot path is
+    /// load-bearing).
+    pub disable_snapshots: bool,
 }
 
 impl SelfTestBugs {
@@ -85,6 +91,11 @@ pub struct NarwhalConfig {
     pub resend_delay: Time,
     /// Latency-tracking samples embedded per batch.
     pub samples_per_batch: usize,
+    /// Take a durable, committee-signed snapshot every this many commits.
+    /// Must map to fewer than `gc_depth` rounds between snapshot points,
+    /// or the latest snapshot could itself be beyond the horizon a joiner
+    /// can close with per-certificate sync.
+    pub snapshot_interval: u64,
     /// If set, workers self-generate synthetic load at this rate.
     pub load: Option<SyntheticLoad>,
     /// Deliberate-bug switches; all off outside the fuzzer's self-test.
@@ -103,6 +114,7 @@ impl Default for NarwhalConfig {
             sync_retry_delay: 500 * MS,
             resend_delay: 1_000 * MS,
             samples_per_batch: 4,
+            snapshot_interval: 32,
             load: None,
             bugs: SelfTestBugs::default(),
         }

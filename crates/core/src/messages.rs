@@ -7,6 +7,7 @@
 
 use nt_codec::{Decode, DecodeError, Encode, Reader};
 use nt_crypto::Digest;
+use nt_execution::{SnapshotBase, SnapshotManifest, SnapshotSig};
 use nt_types::{
     Batch, Certificate, Header, Transaction, TxSample, ValidatorId, Vote, WireSize, WorkerId,
 };
@@ -82,6 +83,38 @@ pub enum NarwhalMsg<Ext> {
     ClientTx(Transaction),
     /// Consensus-protocol extension (e.g. HotStuff messages).
     Ext(Ext),
+    /// A validator's signature over a produced snapshot manifest,
+    /// broadcast so every validator can assemble a 2f+1-signed package.
+    SnapshotVote {
+        /// Snapshot point (committed sequence) the manifest describes.
+        sequence: u64,
+        /// Digest of the manifest being vouched for.
+        manifest: Digest,
+        /// The vouching signature.
+        sig: SnapshotSig,
+    },
+    /// Pull request for snapshot state transfer (one chunk per request;
+    /// transfers are resumable and chunks verify individually).
+    SnapshotRequest {
+        /// Snapshot point wanted; 0 means "your latest".
+        sequence: u64,
+        /// Index of the app-state chunk wanted.
+        cursor: u64,
+    },
+    /// One step of a snapshot transfer.
+    SnapshotResponse {
+        /// The signed description of the app state.
+        manifest: SnapshotManifest,
+        /// Collected signatures over the manifest digest.
+        signatures: Vec<SnapshotSig>,
+        /// Index of the carried chunk.
+        chunk_index: u64,
+        /// The app-state chunk at `chunk_index`.
+        chunk: Vec<u8>,
+        /// Frontier certificates, committed positions and consensus
+        /// checkpoint — carried on the first chunk only.
+        base: Option<SnapshotBase>,
+    },
 }
 
 impl<Ext> NarwhalMsg<Ext> {
@@ -112,6 +145,26 @@ impl<Ext> NarwhalMsg<Ext> {
             NarwhalMsg::FetchBatch { .. } => 32 + 8 + 8,
             NarwhalMsg::ClientTx(tx) => tx.encoded_len(),
             NarwhalMsg::Ext(ext) => ext_size(ext),
+            NarwhalMsg::SnapshotVote { .. } => 8 + 32 + 8 + 64,
+            NarwhalMsg::SnapshotRequest { .. } => 16,
+            NarwhalMsg::SnapshotResponse {
+                manifest,
+                signatures,
+                chunk,
+                base,
+                ..
+            } => {
+                let base_size = base.as_ref().map_or(0, |b| {
+                    b.frontier
+                        .iter()
+                        .map(|c| c.header.wire_size() + 2 + 68 * c.votes.len())
+                        .sum::<usize>()
+                        + 40 * b.ordered.len()
+                        + b.consensus.len()
+                        + 16
+                });
+                48 + 32 * manifest.chunks.len() + 68 * signatures.len() + chunk.len() + base_size
+            }
         }
     }
 }
@@ -129,6 +182,15 @@ impl<Ext: nt_simnet::SimMessage> nt_simnet::SimMessage for NarwhalMsg<Ext> {
             NarwhalMsg::Certificate(c) => c.votes.len() + 1,
             NarwhalMsg::CertResponse { certs } => certs.iter().map(|c| c.votes.len() + 1).sum(),
             NarwhalMsg::Ext(ext) => ext.verify_count(),
+            NarwhalMsg::SnapshotVote { .. } => 1,
+            // The receiver verifies manifest signatures and frontier
+            // certificates once, on the base-carrying first response;
+            // chunk integrity is a hash, covered by the per-byte cost.
+            NarwhalMsg::SnapshotResponse {
+                signatures,
+                base: Some(b),
+                ..
+            } => signatures.len() + b.frontier.iter().map(|c| c.votes.len() + 1).sum::<usize>(),
             // Batch integrity is a hash, covered by the per-byte cost.
             _ => 0,
         }
@@ -193,6 +255,9 @@ const TAG_REPORT_BATCH: u64 = 9;
 const TAG_FETCH_BATCH: u64 = 10;
 const TAG_CLIENT_TX: u64 = 11;
 const TAG_EXT: u64 = 12;
+const TAG_SNAPSHOT_VOTE: u64 = 13;
+const TAG_SNAPSHOT_REQUEST: u64 = 14;
+const TAG_SNAPSHOT_RESPONSE: u64 = 15;
 
 impl<Ext: Encode> Encode for NarwhalMsg<Ext> {
     fn encode(&self, buf: &mut Vec<u8>) {
@@ -256,6 +321,36 @@ impl<Ext: Encode> Encode for NarwhalMsg<Ext> {
                 nt_codec::put_varint(buf, TAG_EXT);
                 ext.encode(buf);
             }
+            NarwhalMsg::SnapshotVote {
+                sequence,
+                manifest,
+                sig,
+            } => {
+                nt_codec::put_varint(buf, TAG_SNAPSHOT_VOTE);
+                sequence.encode(buf);
+                manifest.encode(buf);
+                sig.encode(buf);
+            }
+            NarwhalMsg::SnapshotRequest { sequence, cursor } => {
+                nt_codec::put_varint(buf, TAG_SNAPSHOT_REQUEST);
+                sequence.encode(buf);
+                cursor.encode(buf);
+            }
+            NarwhalMsg::SnapshotResponse {
+                manifest,
+                signatures,
+                chunk_index,
+                chunk,
+                base,
+            } => {
+                nt_codec::put_varint(buf, TAG_SNAPSHOT_RESPONSE);
+                manifest.encode(buf);
+                signatures.encode(buf);
+                chunk_index.encode(buf);
+                nt_codec::put_varint(buf, chunk.len() as u64);
+                buf.extend_from_slice(chunk);
+                base.encode(buf);
+            }
         }
     }
 }
@@ -292,6 +387,25 @@ impl<Ext: Decode> Decode for NarwhalMsg<Ext> {
             },
             TAG_CLIENT_TX => NarwhalMsg::ClientTx(Transaction::decode(reader)?),
             TAG_EXT => NarwhalMsg::Ext(Ext::decode(reader)?),
+            TAG_SNAPSHOT_VOTE => NarwhalMsg::SnapshotVote {
+                sequence: u64::decode(reader)?,
+                manifest: Digest::decode(reader)?,
+                sig: SnapshotSig::decode(reader)?,
+            },
+            TAG_SNAPSHOT_REQUEST => NarwhalMsg::SnapshotRequest {
+                sequence: u64::decode(reader)?,
+                cursor: u64::decode(reader)?,
+            },
+            TAG_SNAPSHOT_RESPONSE => NarwhalMsg::SnapshotResponse {
+                manifest: SnapshotManifest::decode(reader)?,
+                signatures: Vec::<SnapshotSig>::decode(reader)?,
+                chunk_index: u64::decode(reader)?,
+                chunk: {
+                    let len = reader.take_len()?;
+                    reader.take(len)?.to_vec()
+                },
+                base: Option::<SnapshotBase>::decode(reader)?,
+            },
             other => return Err(DecodeError::InvalidTag(other)),
         })
     }
@@ -445,6 +559,44 @@ mod tests {
             },
             NarwhalMsg::ClientTx(Transaction::filler(7, 1, 32)),
             NarwhalMsg::Ext(99),
+            NarwhalMsg::SnapshotVote {
+                sequence: 32,
+                manifest: Digest::of(b"manifest"),
+                sig: SnapshotSig {
+                    signer: ValidatorId(1),
+                    signature: kps[1].sign_digest(&Digest::of(b"manifest")),
+                },
+            },
+            NarwhalMsg::SnapshotRequest {
+                sequence: 0,
+                cursor: 3,
+            },
+            NarwhalMsg::SnapshotResponse {
+                manifest: SnapshotManifest::for_app(32, b"app state"),
+                signatures: vec![SnapshotSig {
+                    signer: ValidatorId(2),
+                    signature: kps[2].sign_digest(&Digest::of(b"manifest")),
+                }],
+                chunk_index: 0,
+                chunk: b"app state".to_vec(),
+                base: Some(SnapshotBase {
+                    frontier: vec![Certificate::genesis(ValidatorId(0))],
+                    ordered: vec![nt_execution::OrderedRef {
+                        digest: Digest::of(b"ordered"),
+                        sequence: 31,
+                    }],
+                    consensus: vec![9, 9, 9],
+                    checkpoint_seq: 33,
+                    gc_round: Some(7),
+                }),
+            },
+            NarwhalMsg::SnapshotResponse {
+                manifest: SnapshotManifest::for_app(32, b"app state"),
+                signatures: Vec::new(),
+                chunk_index: 1,
+                chunk: Vec::new(),
+                base: None,
+            },
         ];
         for msg in &variants {
             // Structural equality via a second encode: the enum has no

@@ -21,6 +21,7 @@ use crate::primary::Primary;
 use crate::store::BlockStore;
 use crate::worker::Worker;
 use nt_crypto::KeyPair;
+use nt_execution::Execution;
 use nt_network::{Actor, Context, Effect, NodeId};
 use nt_storage::DynStore;
 use nt_types::{CommitEvent, Committee, ValidatorId, WorkerId};
@@ -57,6 +58,7 @@ pub struct NodeBuilder {
     workers_per_validator: u32,
     keypair: Option<KeyPair>,
     store: Option<DynStore>,
+    execution: Option<Box<dyn Execution>>,
 }
 
 impl NodeBuilder {
@@ -73,6 +75,7 @@ impl NodeBuilder {
             workers_per_validator,
             keypair: None,
             store: None,
+            execution: None,
         }
     }
 
@@ -103,6 +106,15 @@ impl NodeBuilder {
         self
     }
 
+    /// Attaches an execution engine to the primary: every committed block
+    /// is applied in sequence order and its [`CommitEvent`] is emitted with
+    /// the resulting `app_root` stamped. Workers ignore this. Combine with
+    /// [`store`](NodeBuilder::store) for durable app state and snapshots.
+    pub fn execution(mut self, execution: Box<dyn Execution>) -> Self {
+        self.execution = Some(execution);
+        self
+    }
+
     /// The flat `(validator, role) -> NodeId` layout this builder derives.
     pub fn address_book(&self) -> AddressBook {
         AddressBook::new(self.committee.size(), self.workers_per_validator)
@@ -126,6 +138,7 @@ impl NodeBuilder {
             keypair,
             consensus,
             self.store.map(BlockStore::new),
+            self.execution,
         )
     }
 

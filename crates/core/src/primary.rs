@@ -28,6 +28,10 @@ use crate::deployment::AddressBook;
 use crate::messages::{BatchInfo, NarwhalMsg};
 use crate::store::BlockStore;
 use nt_crypto::{CoinShare, Digest, Hashable, KeyPair};
+use nt_execution::{
+    chunk_of, BatchData, Execution, OrderedRef, SnapshotBase, SnapshotManifest, SnapshotPackage,
+    SnapshotSig,
+};
 use nt_network::{Actor, Context, NodeId, Time};
 use nt_storage::DynStore;
 use nt_types::{Certificate, CommitEvent, Committee, Header, Round, ValidatorId, Vote};
@@ -48,6 +52,21 @@ struct MissingCert {
     hint: ValidatorId,
     attempts: u32,
     last: Time,
+}
+
+/// An in-flight snapshot state transfer: a validator beyond the pull-sync
+/// horizon downloading a 2f+1-signed snapshot chunk by chunk. Chunks verify
+/// individually against the manifest, so a transfer resumes seamlessly when
+/// the retry rotation switches serving validators.
+struct SnapshotFetch {
+    /// Rotation base for retry targets.
+    hint: ValidatorId,
+    attempts: u32,
+    last: Time,
+    manifest: Option<SnapshotManifest>,
+    signatures: Vec<SnapshotSig>,
+    base: Option<SnapshotBase>,
+    chunks: Vec<Option<Vec<u8>>>,
 }
 
 /// An anchor pending linearization: either a held certificate or a digest
@@ -115,6 +134,36 @@ pub struct Primary<C: DagConsensus> {
     consensus: C,
     /// Durable write-through store (`None` = volatile, simulation default).
     block_store: Option<BlockStore>,
+    /// Execution engine consuming the committed sequence (§8.4), if any.
+    execution: Option<Box<dyn Execution>>,
+    /// Commits awaiting batch resolution and engine apply. The flag says
+    /// whether the event is emitted after apply (`false` replays history
+    /// that was already externalized before a restart or install).
+    exec_backlog: VecDeque<(CommitEvent, bool)>,
+    /// Batch digest the backlog front is blocked on (fetch in flight).
+    exec_waiting: Option<Digest>,
+    /// Batches whose fetch round-trip completed but whose bytes the
+    /// primary's store cannot serve (split primary/worker stores): folded
+    /// as [`BatchData::Missing`] from then on. Every validator of such a
+    /// deployment folds identically, so app roots still agree.
+    exec_unresolved: HashSet<Digest>,
+    /// Batch deletions GC owed but could not take because the execution
+    /// backlog still needed the bytes; settled after the engine applies
+    /// the referencing commit.
+    exec_deferred_delete: HashSet<Digest>,
+    /// Snapshot point currently due for production (a committed sequence).
+    snapshot_due: Option<u64>,
+    /// The last snapshot point chosen; a new point is due when the
+    /// committed sequence crosses the next `snapshot_interval` multiple.
+    last_snapshot_point: u64,
+    /// Serving-side base captured for the due point (checkpoint moment).
+    snapshot_base: Option<SnapshotBase>,
+    /// App bytes captured when the engine reached exactly the due point.
+    snapshot_app: Option<Vec<u8>>,
+    /// Buffered peer votes for snapshot points not yet produced locally.
+    snapshot_votes: BTreeMap<u64, Vec<(Digest, SnapshotSig)>>,
+    /// In-flight state transfer, when we are beyond the sync horizon.
+    snapshot_fetch: Option<SnapshotFetch>,
 }
 
 impl<C: DagConsensus> Primary<C> {
@@ -128,7 +177,7 @@ impl<C: DagConsensus> Primary<C> {
         keypair: KeyPair,
         consensus: C,
     ) -> Self {
-        Self::build(committee, config, addr, me, keypair, consensus, None)
+        Self::build(committee, config, addr, me, keypair, consensus, None, None)
     }
 
     /// Creates a primary that persists through `store` and recovers from it
@@ -152,9 +201,11 @@ impl<C: DagConsensus> Primary<C> {
             keypair,
             consensus,
             Some(BlockStore::new(store)),
+            None,
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn build(
         committee: Committee,
         config: NarwhalConfig,
@@ -163,6 +214,7 @@ impl<C: DagConsensus> Primary<C> {
         keypair: KeyPair,
         consensus: C,
         block_store: Option<BlockStore>,
+        execution: Option<Box<dyn Execution>>,
     ) -> Self {
         Primary {
             committee,
@@ -193,6 +245,17 @@ impl<C: DagConsensus> Primary<C> {
             sequence: 0,
             consensus,
             block_store,
+            execution,
+            exec_backlog: VecDeque::new(),
+            exec_waiting: None,
+            exec_unresolved: HashSet::new(),
+            exec_deferred_delete: HashSet::new(),
+            snapshot_due: None,
+            last_snapshot_point: 0,
+            snapshot_base: None,
+            snapshot_app: None,
+            snapshot_votes: BTreeMap::new(),
+            snapshot_fetch: None,
         }
     }
 
@@ -300,7 +363,63 @@ impl<C: DagConsensus> Primary<C> {
         if let Some(blob) = store.consensus_checkpoint().expect("block store") {
             self.consensus.restore(&blob);
         }
+        // Never re-produce the snapshot bucket that was in progress at the
+        // crash: peers' quorum covers it, and the next grid crossing puts
+        // us back on the committee-wide snapshot schedule.
+        self.last_snapshot_point = self.sequence;
+        if self.execution.is_some() {
+            self.recover_app(&store);
+        }
         true
+    }
+
+    /// Restores the execution engine across a restart: loads the persisted
+    /// app state, then replays any ordered markers above it. The app record
+    /// is written after each commit's ordered marker, so it can only be at
+    /// or behind the recovered counter.
+    fn recover_app(&mut self, store: &BlockStore) {
+        let exec = self.execution.as_mut().expect("caller checked");
+        let mut floor = 0u64;
+        match store.app_state().expect("block store") {
+            Some((seq, bytes)) => {
+                exec.restore(seq, &bytes).expect("persisted app state");
+                floor = seq;
+            }
+            None => {
+                // No per-commit record (an engine newly attached over an
+                // old store): fall back to our latest snapshot, if any.
+                if let Some(package) = store.latest_snapshot().expect("block store") {
+                    exec.restore(package.manifest.sequence, &package.app)
+                        .expect("own snapshot");
+                    floor = package.manifest.sequence;
+                }
+            }
+        }
+        let refs = store.ordered_refs().expect("block store");
+        self.replay_refs(&refs, floor, self.sequence);
+    }
+
+    /// Queues committed blocks in `(floor, ceiling]` for re-apply through
+    /// the engine (without re-emitting them), resolving each position from
+    /// the DAG by its ordered marker. Positions whose markers or
+    /// certificates are gone are already folded into the restored state.
+    fn replay_refs(&mut self, refs: &[(Digest, u64)], floor: u64, ceiling: u64) {
+        for (digest, seq) in refs {
+            if *seq <= floor || *seq > ceiling {
+                continue;
+            }
+            let Some(cert) = self.dag.get_by_digest(digest) else {
+                continue;
+            };
+            let event = CommitEvent {
+                sequence: *seq,
+                round: cert.round(),
+                author: cert.origin(),
+                payload: cert.header.payload.clone(),
+                ..Default::default()
+            };
+            self.exec_backlog.push_back((event, false));
+        }
     }
 
     /// Current local round (tests/metrics).
@@ -402,6 +521,21 @@ impl<C: DagConsensus> Primary<C> {
                     if gc_round > 0 {
                         self.perform_gc(gc_round);
                     }
+                    // Snapshot points sit on the grid of `snapshot_interval`
+                    // multiples, evaluated at anchor boundaries — a pure
+                    // function of the committed sequence, so every validator
+                    // picks the identical points and the 2f+1 signature
+                    // aggregation below has something to aggregate over.
+                    if self.snapshots_enabled()
+                        && self.sequence / self.config.snapshot_interval
+                            > self.last_snapshot_point / self.config.snapshot_interval
+                    {
+                        self.snapshot_due = Some(self.sequence);
+                        self.last_snapshot_point = self.sequence;
+                        self.snapshot_base = None;
+                        self.snapshot_app = None;
+                        self.snapshot_votes = self.snapshot_votes.split_off(&self.sequence);
+                    }
                 }
             }
         }
@@ -423,6 +557,11 @@ impl<C: DagConsensus> Primary<C> {
                     store.put_consensus_checkpoint(&blob).expect("block store");
                 }
             }
+            // The drained-checkpoint moment is the only one where the
+            // consensus checkpoint, the ordered markers and the DAG frontier
+            // are mutually consistent — capture the snapshot base here.
+            self.capture_snapshot_base();
+            self.drain_execution(ctx);
         }
     }
 
@@ -481,7 +620,13 @@ impl<C: DagConsensus> Primary<C> {
             }
             self.own_payloads.remove(&cert.round());
         }
-        ctx.commit(event);
+        if self.execution.is_some() {
+            // Deferred emission: the event is externalized only after the
+            // engine applies it (and stamps `app_root`), in `drain_execution`.
+            self.exec_backlog.push_back((event, true));
+        } else {
+            ctx.commit(event);
+        }
     }
 
     /// Garbage collection (§3.3): prune the DAG and all per-round state,
@@ -492,6 +637,17 @@ impl<C: DagConsensus> Primary<C> {
             return;
         }
         let store = self.block_store.clone();
+        // Batch bytes the execution backlog has yet to apply: a validator
+        // catching up after an outage commits (and GCs) far ahead of its
+        // engine, and deleting these now would force the engine to fold
+        // them as missing while every peer applied them in full — a
+        // permanent app-root split. Deletion is deferred to the apply
+        // point instead (`drain_execution`).
+        let exec_pending: HashSet<Digest> = self
+            .exec_backlog
+            .iter()
+            .flat_map(|(event, _)| event.payload.iter().map(|(digest, _)| *digest))
+            .collect();
         // Durable GC is an intent log: record the floor sequence and the
         // new boundary *before* any deletion. A torn tail then leaves
         // either the full pre-GC state or "GC declared, deletes partially
@@ -519,7 +675,10 @@ impl<C: DagConsensus> Primary<C> {
                 for (batch_digest, _) in &cert.header.payload {
                     self.stored_batches.remove(batch_digest);
                     self.batch_meta.remove(batch_digest);
-                    if let Some(store) = &store {
+                    self.exec_unresolved.remove(batch_digest);
+                    if exec_pending.contains(batch_digest) {
+                        self.exec_deferred_delete.insert(*batch_digest);
+                    } else if let Some(store) = &store {
                         store.delete_batch(batch_digest).expect("block store");
                     }
                 }
@@ -563,7 +722,10 @@ impl<C: DagConsensus> Primary<C> {
                     if self.committed_batches.remove(batch_digest) {
                         self.batch_meta.remove(batch_digest);
                         self.stored_batches.remove(batch_digest);
-                        if let Some(store) = &store {
+                        self.exec_unresolved.remove(batch_digest);
+                        if exec_pending.contains(batch_digest) {
+                            self.exec_deferred_delete.insert(*batch_digest);
+                        } else if let Some(store) = &store {
                             store.delete_batch(batch_digest).expect("block store");
                         }
                     }
@@ -984,6 +1146,15 @@ impl<C: DagConsensus> Primary<C> {
                 }
             }
         }
+        if self.exec_waiting == Some(digest) {
+            // The fetch round-trip completed. If the store still cannot
+            // serve the bytes (split primary/worker stores), the digest is
+            // folded as missing from here on; `drain_execution` re-checks
+            // the store first, so this mark is moot wherever it can read.
+            self.exec_waiting = None;
+            self.exec_unresolved.insert(digest);
+        }
+        self.drain_execution(ctx);
     }
 
     fn handle_retry(&mut self, ctx: &mut Context<NarwhalMsg<C::Ext>>) {
@@ -1036,7 +1207,43 @@ impl<C: DagConsensus> Primary<C> {
                 }
             }
         }
+        // Retry an in-flight state transfer against rotating servers; the
+        // manifest-relative cursor makes the transfer resume, not restart.
+        if let Some(fetch) = self.snapshot_fetch.as_mut() {
+            if now.saturating_sub(fetch.last) >= self.config.sync_retry_delay {
+                fetch.attempts += 1;
+                fetch.last = now;
+                if fetch.attempts % (2 * n) == 0 {
+                    // A full rotation with no progress: the point we chased
+                    // may be pruned committee-wide. Start over on whatever
+                    // latest quorum snapshot the next server holds.
+                    fetch.manifest = None;
+                    fetch.signatures.clear();
+                    fetch.base = None;
+                    fetch.chunks.clear();
+                }
+                let mut target = ValidatorId((fetch.hint.0 + fetch.attempts) % n);
+                if target == self.me {
+                    target = ValidatorId((target.0 + 1) % n);
+                }
+                let (sequence, cursor) = match &fetch.manifest {
+                    Some(m) => (
+                        m.sequence,
+                        fetch.chunks.iter().position(Option::is_none).unwrap_or(0) as u64,
+                    ),
+                    None => (0, 0),
+                };
+                ctx.send(
+                    self.addr.primary(target),
+                    NarwhalMsg::SnapshotRequest { sequence, cursor },
+                );
+            }
+        }
+        // Re-arm a possibly-lost batch fetch the execution backlog blocks
+        // on: clearing the in-flight marker lets `drain_execution` re-send.
+        self.exec_waiting = None;
         self.drain_anchors(ctx);
+        self.drain_execution(ctx);
         ctx.timer(self.retry_interval(), TAG_RETRY);
     }
 
@@ -1045,6 +1252,558 @@ impl<C: DagConsensus> Primary<C> {
     /// silently quantized up to the timer period.
     fn retry_interval(&self) -> Time {
         self.config.sync_retry_delay.min(self.config.resend_delay)
+    }
+
+    /// Whether this validator produces, serves and fetches snapshots.
+    /// Requires a durable store — a snapshot a crash can erase is worse
+    /// than none, because peers may be counting on our signature.
+    fn snapshots_enabled(&self) -> bool {
+        self.block_store.is_some()
+            && !self.config.bugs.disable_snapshots
+            && self.config.snapshot_interval > 0
+    }
+
+    /// Captures the serving-side base for the due snapshot point. Called
+    /// only at the drained-checkpoint moment: the consensus checkpoint,
+    /// the ordered markers and the DAG frontier are mutually consistent
+    /// exactly when the anchor queue has fully drained.
+    fn capture_snapshot_base(&mut self) {
+        if self.snapshot_due.is_none() || self.snapshot_base.is_some() {
+            return;
+        }
+        let Some(store) = self.block_store.clone() else {
+            return;
+        };
+        // Skip round 0: genesis is implied, every joiner regenerates it.
+        let frontier: Vec<Certificate> = (self.dag.first_retained_round().max(1)
+            ..=self.dag.highest_round())
+            .flat_map(|r| self.dag.round_certs(r).cloned().collect::<Vec<_>>())
+            .collect();
+        let ordered = store
+            .ordered_refs()
+            .expect("block store")
+            .into_iter()
+            .map(|(digest, sequence)| OrderedRef { digest, sequence })
+            .collect();
+        self.snapshot_base = Some(SnapshotBase {
+            frontier,
+            ordered,
+            consensus: self.consensus.checkpoint().unwrap_or_default(),
+            checkpoint_seq: self.sequence,
+            gc_round: self.dag.first_retained_round().checked_sub(1),
+        });
+    }
+
+    /// Finishes the due snapshot once both halves exist: the base (captured
+    /// at the checkpoint moment) and the app bytes (captured when the
+    /// engine applied exactly the due sequence; empty without an engine).
+    /// Persists the package and broadcasts our manifest signature.
+    fn try_finish_snapshot(&mut self, ctx: &mut Context<NarwhalMsg<C::Ext>>) {
+        let Some(point) = self.snapshot_due else {
+            return;
+        };
+        if self.snapshot_base.is_none() {
+            return;
+        }
+        let Some(store) = self.block_store.clone() else {
+            return;
+        };
+        let app = if self.execution.is_some() {
+            match &self.snapshot_app {
+                Some(bytes) => bytes.clone(),
+                None => return, // the engine has not reached the point yet
+            }
+        } else {
+            Vec::new()
+        };
+        let base = self.snapshot_base.take().expect("checked above");
+        let manifest = SnapshotManifest::for_app(point, &app);
+        let digest = manifest.digest();
+        let sig = SnapshotSig::sign(self.me, &self.keypair, &manifest);
+        let mut package = SnapshotPackage {
+            manifest,
+            signatures: vec![sig.clone()],
+            base,
+            app,
+        };
+        // Fold in peer votes that arrived before we finished producing.
+        for (vote_digest, vote_sig) in self.snapshot_votes.remove(&point).unwrap_or_default() {
+            if vote_digest == digest {
+                package.add_signature(vote_sig);
+            }
+        }
+        store.put_snapshot(&package).expect("block store");
+        self.snapshot_due = None;
+        self.snapshot_app = None;
+        for node in self.addr.other_primaries(self.me) {
+            ctx.send(
+                node,
+                NarwhalMsg::SnapshotVote {
+                    sequence: point,
+                    manifest: digest,
+                    sig: sig.clone(),
+                },
+            );
+        }
+    }
+
+    /// Pushes the committed sequence through the execution engine, in
+    /// order, resolving each commit's batches first. The front of the
+    /// backlog blocks (at most one fetch in flight) until its batches are
+    /// either served by the store or deterministically folded as missing.
+    /// Also the finish point for due snapshots — with or without an engine.
+    fn drain_execution(&mut self, ctx: &mut Context<NarwhalMsg<C::Ext>>) {
+        if let Some(exec) = self.execution.as_mut() {
+            let store = self.block_store.clone();
+            while let Some((front, _)) = self.exec_backlog.front() {
+                let payload = front.payload.clone();
+                let author = front.author;
+                let mut batches: Vec<BatchData> = Vec::with_capacity(payload.len());
+                let mut missing = None;
+                for (digest, worker) in &payload {
+                    let held = store
+                        .as_ref()
+                        .and_then(|s| s.get_batch(digest).expect("block store"));
+                    match held {
+                        Some(batch) => batches.push(BatchData::Full(batch)),
+                        None if store.is_some() && !self.exec_unresolved.contains(digest) => {
+                            missing = Some((*digest, *worker));
+                            break;
+                        }
+                        // No store at all (the primary never sees batch
+                        // bytes) or a completed fetch the store still cannot
+                        // serve (split primary/worker stores): fold the
+                        // commitment. Deterministic per deployment.
+                        None => batches.push(BatchData::Missing(*digest)),
+                    }
+                }
+                if let Some((digest, worker)) = missing {
+                    if self.exec_waiting != Some(digest) {
+                        self.exec_waiting = Some(digest);
+                        ctx.send(
+                            self.addr.worker(self.me, worker),
+                            NarwhalMsg::FetchBatch {
+                                digest,
+                                worker,
+                                creator: author,
+                            },
+                        );
+                    }
+                    break;
+                }
+                self.exec_waiting = None;
+                let (mut event, emit) = self.exec_backlog.pop_front().expect("checked front");
+                event.app_root = exec.apply(&event, &batches);
+                // Settle deletions GC deferred on this commit's behalf —
+                // unless a later backlog entry also references the digest.
+                let still_needed = |digest: &Digest| {
+                    self.exec_backlog
+                        .iter()
+                        .any(|(e, _)| e.payload.iter().any(|(d, _)| d == digest))
+                };
+                for (digest, _) in &payload {
+                    if self.exec_deferred_delete.contains(digest) && !still_needed(digest) {
+                        self.exec_deferred_delete.remove(digest);
+                        if let Some(store) = &store {
+                            store.delete_batch(digest).expect("block store");
+                        }
+                    }
+                }
+                if let Some(store) = &store {
+                    // Written after the commit's ordered marker, so recovery
+                    // sees app state at or behind the replay floor.
+                    store
+                        .put_app_state(event.sequence, &exec.snapshot())
+                        .expect("block store");
+                }
+                if self.snapshot_due == Some(event.sequence) {
+                    self.snapshot_app = Some(exec.snapshot());
+                }
+                if emit {
+                    ctx.commit(event);
+                }
+            }
+        }
+        self.try_finish_snapshot(ctx);
+    }
+
+    /// Accepts a peer's signature over a snapshot manifest: merged into the
+    /// stored package if we already produced that point, buffered (bounded)
+    /// if the point is still ahead of us.
+    fn handle_snapshot_vote(&mut self, sequence: u64, manifest: Digest, sig: SnapshotSig) {
+        if !self.snapshots_enabled() {
+            return;
+        }
+        if !sig.verify_digest(&self.committee, &manifest) {
+            return;
+        }
+        let store = self.block_store.clone().expect("snapshots_enabled");
+        if let Some(mut package) = store.snapshot(sequence).expect("block store") {
+            if package.manifest.digest() == manifest && package.add_signature(sig) {
+                store.put_snapshot(&package).expect("block store");
+            }
+            return;
+        }
+        if sequence < self.last_snapshot_point {
+            return; // a point we passed without producing (or pruned)
+        }
+        if self.snapshot_votes.len() >= 8 && !self.snapshot_votes.contains_key(&sequence) {
+            return; // bound the buffer against junk points
+        }
+        let votes = self.snapshot_votes.entry(sequence).or_default();
+        if votes.len() < self.committee.size() && !votes.iter().any(|(_, s)| s.signer == sig.signer)
+        {
+            votes.push((manifest, sig));
+        }
+    }
+
+    /// Serves one chunk of a quorum-signed snapshot. `sequence == 0` asks
+    /// for our latest servable point; the base rides on chunk 0 only.
+    fn handle_snapshot_request(
+        &mut self,
+        sequence: u64,
+        cursor: u64,
+        from: NodeId,
+        ctx: &mut Context<NarwhalMsg<C::Ext>>,
+    ) {
+        if !self.snapshots_enabled() {
+            return;
+        }
+        let store = self.block_store.clone().expect("snapshots_enabled");
+        let package = if sequence == 0 {
+            let mut found = None;
+            for seq in store
+                .snapshot_sequences()
+                .expect("block store")
+                .into_iter()
+                .rev()
+            {
+                if let Some(p) = store.snapshot(seq).expect("block store") {
+                    if p.has_quorum(&self.committee) {
+                        found = Some(p);
+                        break;
+                    }
+                }
+            }
+            found
+        } else {
+            store
+                .snapshot(sequence)
+                .expect("block store")
+                .filter(|p| p.has_quorum(&self.committee))
+        };
+        let Some(package) = package else {
+            return;
+        };
+        let Some(chunk) = chunk_of(&package.app, cursor as usize) else {
+            return;
+        };
+        ctx.send(
+            from,
+            NarwhalMsg::SnapshotResponse {
+                manifest: package.manifest.clone(),
+                signatures: package.signatures.clone(),
+                chunk_index: cursor,
+                chunk: chunk.to_vec(),
+                base: (cursor == 0).then(|| package.base.clone()),
+            },
+        );
+    }
+
+    /// Starts a snapshot state transfer when a verified certificate proves
+    /// the committee is beyond our pull-sync horizon: per-certificate §4.1
+    /// sync cannot close a gap wider than `gc_depth` (peers pruned it).
+    fn maybe_trigger_state_transfer(
+        &mut self,
+        cert: &Certificate,
+        ctx: &mut Context<NarwhalMsg<C::Ext>>,
+    ) {
+        if self.config.bugs.disable_snapshots || self.snapshot_fetch.is_some() {
+            return;
+        }
+        if cert.round() <= self.dag.highest_round() + self.config.gc_depth {
+            return;
+        }
+        let mut hint = cert.origin();
+        if hint == self.me {
+            hint = ValidatorId((hint.0 + 1) % self.committee.size() as u32);
+        }
+        self.snapshot_fetch = Some(SnapshotFetch {
+            hint,
+            attempts: 0,
+            last: ctx.now(),
+            manifest: None,
+            signatures: Vec::new(),
+            base: None,
+            chunks: Vec::new(),
+        });
+        ctx.send(
+            self.addr.primary(hint),
+            NarwhalMsg::SnapshotRequest {
+                sequence: 0,
+                cursor: 0,
+            },
+        );
+    }
+
+    /// Accepts one chunk of an in-flight state transfer, pumps the next
+    /// request, and installs once chunks, base and a signature quorum are
+    /// all in hand. Chunks verify individually against the manifest, so a
+    /// transfer survives switching serving validators mid-way.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_snapshot_response(
+        &mut self,
+        manifest: SnapshotManifest,
+        signatures: Vec<SnapshotSig>,
+        chunk_index: u64,
+        chunk: Vec<u8>,
+        base: Option<SnapshotBase>,
+        from: NodeId,
+        ctx: &mut Context<NarwhalMsg<C::Ext>>,
+    ) {
+        if self.config.bugs.disable_snapshots {
+            return;
+        }
+        let Some(fetch) = self.snapshot_fetch.as_mut() else {
+            return;
+        };
+        let digest = manifest.digest();
+        let adopt = match &fetch.manifest {
+            None => true,
+            Some(current) if current.digest() == digest => false,
+            // A newer point appeared mid-transfer (ours may be pruned
+            // committee-wide): restart on it. Older/conflicting: ignore.
+            Some(current) if manifest.sequence > current.sequence => true,
+            Some(_) => return,
+        };
+        if adopt {
+            fetch.chunks = vec![None; manifest.chunk_count()];
+            fetch.signatures.clear();
+            fetch.base = None;
+            fetch.manifest = Some(manifest.clone());
+        }
+        for sig in signatures {
+            if sig.verify_digest(&self.committee, &digest)
+                && !fetch.signatures.iter().any(|s| s.signer == sig.signer)
+            {
+                fetch.signatures.push(sig);
+            }
+        }
+        if fetch.base.is_none() {
+            fetch.base = base;
+        }
+        if let Some(slot) = fetch.chunks.get_mut(chunk_index as usize) {
+            if slot.is_none() && manifest.verify_chunk(chunk_index as usize, &chunk) {
+                *slot = Some(chunk);
+            }
+        }
+        fetch.last = ctx.now();
+        if let Some(idx) = fetch.chunks.iter().position(Option::is_none) {
+            ctx.send(
+                from,
+                NarwhalMsg::SnapshotRequest {
+                    sequence: manifest.sequence,
+                    cursor: idx as u64,
+                },
+            );
+            return;
+        }
+        if fetch.base.is_none() {
+            // All chunks but no base: we joined mid-transfer past chunk 0.
+            ctx.send(
+                from,
+                NarwhalMsg::SnapshotRequest {
+                    sequence: manifest.sequence,
+                    cursor: 0,
+                },
+            );
+            return;
+        }
+        if fetch.signatures.len() >= self.committee.quorum_threshold() {
+            self.install_snapshot(ctx);
+        }
+    }
+
+    /// Installs a fully-downloaded, quorum-signed snapshot: verifies the
+    /// app bytes against the manifest and every frontier certificate
+    /// against the committee, then replaces the DAG, the ordered set, the
+    /// sequence counter, consensus and app state wholesale, persists the
+    /// new basis (install marker included, so checkers and recovery can
+    /// license the sequence jump), and resumes normal DAG participation.
+    fn install_snapshot(&mut self, ctx: &mut Context<NarwhalMsg<C::Ext>>) {
+        let Some(fetch) = self.snapshot_fetch.take() else {
+            return;
+        };
+        let (Some(manifest), Some(base)) = (fetch.manifest, fetch.base) else {
+            return;
+        };
+        let mut app = Vec::with_capacity(manifest.app_len as usize);
+        for chunk in &fetch.chunks {
+            app.extend_from_slice(chunk.as_deref().unwrap_or_default());
+        }
+        if app.len() as u64 != manifest.app_len || Digest::of(&app) != manifest.app_root {
+            return; // cannot happen with verified chunks; abort defensively
+        }
+        if base.checkpoint_seq < manifest.sequence {
+            return; // malformed base: the capture moment precedes the point
+        }
+        for cert in &base.frontier {
+            if cert.verify(&self.committee).is_err() {
+                // A fabricated frontier: drop the transfer. Still-arriving
+                // far-future certificates re-trigger against another server.
+                return;
+            }
+        }
+        // Replace the DAG with the served window.
+        let mut dag = Dag::new();
+        dag.insert_genesis(Certificate::genesis_set(&self.committee));
+        if let Some(gc_round) = base.gc_round {
+            dag.gc(gc_round);
+        }
+        let mut frontier = base.frontier.clone();
+        frontier.sort_by_key(Certificate::round);
+        for cert in &frontier {
+            dag.insert(cert.clone());
+        }
+        self.dag = dag;
+        self.ordered = base.ordered.iter().map(|r| r.digest).collect();
+        self.sequence = base.checkpoint_seq;
+        if !base.consensus.is_empty() {
+            self.consensus.restore(&base.consensus);
+        }
+        // Everything queued against the pre-install view is void.
+        self.pending_anchors.clear();
+        self.suspended.clear();
+        self.suspended_digests.clear();
+        self.missing_certs.clear();
+        self.pending_headers.clear();
+        self.waiting_on_parent.clear();
+        self.waiting_on_batch.clear();
+        self.exec_backlog.clear();
+        self.exec_waiting = None;
+        // The discarded backlog will never apply, so the deletions GC
+        // deferred on its behalf are due now — the installed app state
+        // already covers those commits.
+        if let Some(store) = &self.block_store {
+            for digest in std::mem::take(&mut self.exec_deferred_delete) {
+                store.delete_batch(&digest).expect("block store");
+            }
+        } else {
+            self.exec_deferred_delete.clear();
+        }
+        self.snapshot_due = None;
+        self.snapshot_base = None;
+        self.snapshot_app = None;
+        self.current_header = None;
+        self.current_votes.clear();
+        self.last_snapshot_point = self.sequence;
+        let boundary = self.dag.first_retained_round();
+        self.voted = self.voted.split_off(&boundary);
+        // Reconcile our own certified-but-uncommitted payloads against the
+        // installed basis. A block the new `ordered` set names is
+        // committed; one still in the new DAG awaiting an anchor stays
+        // in-flight. Everything else — below the boundary or absent from
+        // the served window — was certified before the outage and almost
+        // surely linearized by the committee while we were down, and no
+        // local record can prove otherwise. Treating those as committed
+        // (never re-proposing) is the safe side: a re-injection here is a
+        // double-commit the moment both blocks linearize (`sim_fuzz` seed
+        // 0 — the committee committed the block mid-partition, then our
+        // post-install GC re-queued its batches). Exactly-once wins over
+        // at-least-once; clients re-submit.
+        let mut presumed_committed: Vec<Digest> = Vec::new();
+        for (round, digests) in std::mem::take(&mut self.own_payloads) {
+            match self.dag.get(round, self.me) {
+                Some(cert) if !self.ordered.contains(&cert.header_digest()) => {
+                    self.own_payloads.insert(round, digests);
+                }
+                _ => {
+                    for digest in digests {
+                        if self.committed_batches.insert(digest) {
+                            presumed_committed.push(digest);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(store) = self.block_store.clone() {
+            // Old markers at sequences the install supersedes; collected
+            // before the new basis lands so the cleanup below can tell
+            // them apart from freshly-written ones.
+            let stale_refs = store.ordered_refs().expect("block store");
+            // Persist the new basis. Order matters against a torn tail:
+            // content first (certificates, checkpoint, markers ascending,
+            // counter, install marker, app state), the GC boundary last
+            // among state keys — an unpruned DAG merely makes recovery
+            // descend into a hole, stall, and re-fetch a snapshot; a
+            // pruned DAG with no recorded basis would commit wrong
+            // content. The barrier seals the basis before any deletion.
+            for cert in &frontier {
+                store.put_certificate(cert).expect("block store");
+            }
+            store
+                .put_consensus_checkpoint(&base.consensus)
+                .expect("block store");
+            let mut refs = base.ordered.clone();
+            refs.sort_by_key(|r| r.sequence);
+            for r in &refs {
+                store
+                    .put_ordered(&r.digest, r.sequence)
+                    .expect("block store");
+            }
+            store.put_sequence(self.sequence).expect("block store");
+            store
+                .put_snapshot_install(self.sequence)
+                .expect("block store");
+            if let Some(gc_round) = base.gc_round {
+                store.put_gc_round(gc_round).expect("block store");
+            }
+            for digest in &presumed_committed {
+                store.put_committed_batch(digest).expect("block store");
+            }
+            store
+                .put_app_state(manifest.sequence, &app)
+                .expect("block store");
+            let package = SnapshotPackage {
+                manifest: manifest.clone(),
+                signatures: fetch.signatures,
+                base: base.clone(),
+                app: app.clone(),
+            };
+            store.put_snapshot(&package).expect("block store");
+            store.barrier().expect("block store");
+            // Cleanup: superseded markers, pruned certificates and votes.
+            let new_refs: HashSet<Digest> = self.ordered.iter().copied().collect();
+            for (digest, seq) in stale_refs {
+                if seq <= self.sequence && !new_refs.contains(&digest) {
+                    store.delete_ordered(&digest).expect("block store");
+                }
+            }
+            store.gc_certificates_below(boundary).expect("block store");
+            store.gc_votes_below(boundary).expect("block store");
+        }
+        if let Some(exec) = self.execution.as_mut() {
+            exec.restore(manifest.sequence, &app)
+                .expect("root-verified app state");
+            let refs: Vec<(Digest, u64)> = base
+                .ordered
+                .iter()
+                .map(|r| (r.digest, r.sequence))
+                .collect();
+            // Close the (manifest.sequence, checkpoint_seq] gap through the
+            // engine without re-emitting (the committee externalized these
+            // long ago).
+            self.replay_refs(&refs, manifest.sequence, self.sequence);
+        }
+        // Resume normal participation from the installed frontier.
+        self.round = (self.dag.first_retained_round()..=self.dag.highest_round())
+            .rev()
+            .find(|r| self.dag.round_size(*r) >= self.committee.quorum_threshold())
+            .unwrap_or_else(|| self.dag.first_retained_round());
+        self.round_entered = ctx.now();
+        self.advance_round(ctx);
+        self.try_propose(ctx);
+        self.drain_execution(ctx);
     }
 }
 
@@ -1063,6 +1822,8 @@ impl<C: DagConsensus> Actor for Primary<C> {
         self.apply_consensus_out(out, ctx);
         self.advance_round(ctx);
         self.try_propose(ctx);
+        // Replay recovered commits through the engine before new ones land.
+        self.drain_execution(ctx);
         ctx.timer(self.retry_interval(), TAG_RETRY);
     }
 
@@ -1090,6 +1851,7 @@ impl<C: DagConsensus> Actor for Primary<C> {
                     && !self.dag.contains_digest(&cert.header_digest())
                     && cert.verify(&self.committee).is_ok() =>
             {
+                self.maybe_trigger_state_transfer(&cert, ctx);
                 self.process_certificate(cert, ctx);
             }
             NarwhalMsg::CertRequest { digests } => {
@@ -1113,6 +1875,29 @@ impl<C: DagConsensus> Actor for Primary<C> {
                 self.drain_anchors(ctx);
             }
             NarwhalMsg::ReportBatch(info) => self.handle_report(info, ctx),
+            NarwhalMsg::SnapshotVote {
+                sequence,
+                manifest,
+                sig,
+            } => self.handle_snapshot_vote(sequence, manifest, sig),
+            NarwhalMsg::SnapshotRequest { sequence, cursor } => {
+                self.handle_snapshot_request(sequence, cursor, from, ctx)
+            }
+            NarwhalMsg::SnapshotResponse {
+                manifest,
+                signatures,
+                chunk_index,
+                chunk,
+                base,
+            } => self.handle_snapshot_response(
+                manifest,
+                signatures,
+                chunk_index,
+                chunk,
+                base,
+                from,
+                ctx,
+            ),
             NarwhalMsg::Ext(ext) => {
                 if let Some(peer) = self.addr.primary_of(from) {
                     let mut out = ConsensusOut::default();

@@ -14,6 +14,7 @@
 use crate::dag::Dag;
 use nt_codec::{decode_from_slice, encode_to_vec};
 use nt_crypto::{Digest, Hashable};
+use nt_execution::SnapshotPackage;
 use nt_storage::{DynStore, StoreError};
 use nt_types::{Batch, Certificate, Committee, Header, Round, ValidatorId};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -97,10 +98,29 @@ fn committed_batch_key(digest: &Digest) -> Vec<u8> {
     key
 }
 
+fn snapshot_key(sequence: u64) -> Vec<u8> {
+    let mut key = Vec::with_capacity(4 + 8);
+    key.extend_from_slice(b"s/p/");
+    key.extend_from_slice(&sequence.to_be_bytes());
+    key
+}
+
+fn install_key(sequence: u64) -> Vec<u8> {
+    let mut key = Vec::with_capacity(4 + 8);
+    key.extend_from_slice(b"s/j/");
+    key.extend_from_slice(&sequence.to_be_bytes());
+    key
+}
+
 const CONSENSUS_KEY: &[u8] = b"k/consensus";
 const SEQUENCE_KEY: &[u8] = b"k/sequence";
 const GC_ROUND_KEY: &[u8] = b"k/gc";
 const OWN_HEADER_KEY: &[u8] = b"k/own-header";
+const APP_STATE_KEY: &[u8] = b"k/app";
+
+/// How many snapshot packages a validator retains; older ones are
+/// superseded and garbage-collected on the next `put_snapshot`.
+const SNAPSHOTS_RETAINED: usize = 2;
 
 impl BlockStore {
     /// Wraps a backend store.
@@ -407,6 +427,120 @@ impl BlockStore {
         Ok(dag)
     }
 
+    /// All ordered markers with the sequence number each carries — the
+    /// committed positions within the retained window, used to package
+    /// snapshots and to replay the app across a torn-tail restart.
+    pub fn ordered_refs(&self) -> Result<Vec<(Digest, u64)>, BlockStoreError> {
+        let mut out = Vec::new();
+        for key in self.inner.keys_with_prefix(b"o/")? {
+            if key.len() != 2 + 32 {
+                continue;
+            }
+            let digest = Digest(key[2..34].try_into().expect("32-byte digest"));
+            let Some(value) = self.inner.get(&key)? else {
+                continue;
+            };
+            let Ok(raw) = <[u8; 8]>::try_from(value.as_slice()) else {
+                continue;
+            };
+            out.push((digest, u64::from_be_bytes(raw)));
+        }
+        out.sort_by_key(|(_, seq)| *seq);
+        Ok(out)
+    }
+
+    /// Persists the app state at `sequence` (one slot, overwritten per
+    /// commit). Written *after* the commit's ordered marker, so recovery
+    /// can only find app state at or behind the commit counter — the gap
+    /// is closed by replaying the ordered markers above it.
+    pub fn put_app_state(&self, sequence: u64, bytes: &[u8]) -> Result<(), BlockStoreError> {
+        let mut value = Vec::with_capacity(8 + bytes.len());
+        value.extend_from_slice(&sequence.to_be_bytes());
+        value.extend_from_slice(bytes);
+        self.inner.put(APP_STATE_KEY, &value)?;
+        Ok(())
+    }
+
+    /// Reads the persisted app state and its sequence, if any.
+    #[allow(clippy::type_complexity)]
+    pub fn app_state(&self) -> Result<Option<(u64, Vec<u8>)>, BlockStoreError> {
+        let Some(value) = self.inner.get(APP_STATE_KEY)? else {
+            return Ok(None);
+        };
+        if value.len() < 8 {
+            return Err(BlockStoreError::Corrupt(Digest::of(APP_STATE_KEY)));
+        }
+        let sequence = u64::from_be_bytes(value[..8].try_into().expect("8-byte prefix"));
+        Ok(Some((sequence, value[8..].to_vec())))
+    }
+
+    /// Persists one snapshot package at its snapshot point and prunes
+    /// superseded packages, keeping the newest [`SNAPSHOTS_RETAINED`].
+    pub fn put_snapshot(&self, package: &SnapshotPackage) -> Result<(), BlockStoreError> {
+        self.inner.put(
+            &snapshot_key(package.manifest.sequence),
+            &encode_to_vec(package),
+        )?;
+        let sequences = self.snapshot_sequences()?;
+        if sequences.len() > SNAPSHOTS_RETAINED {
+            for seq in &sequences[..sequences.len() - SNAPSHOTS_RETAINED] {
+                self.inner.delete(&snapshot_key(*seq))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads the snapshot package at `sequence`, if retained.
+    pub fn snapshot(&self, sequence: u64) -> Result<Option<SnapshotPackage>, BlockStoreError> {
+        let Some(bytes) = self.inner.get(&snapshot_key(sequence))? else {
+            return Ok(None);
+        };
+        let package = decode_from_slice(&bytes)
+            .map_err(|_| BlockStoreError::Corrupt(Digest::of(&sequence.to_be_bytes())))?;
+        Ok(Some(package))
+    }
+
+    /// Snapshot points with a retained package, ascending.
+    pub fn snapshot_sequences(&self) -> Result<Vec<u64>, BlockStoreError> {
+        let mut out = Vec::new();
+        for key in self.inner.keys_with_prefix(b"s/p/")? {
+            if key.len() == 4 + 8 {
+                out.push(u64::from_be_bytes(key[4..12].try_into().expect("8 bytes")));
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// The newest retained snapshot package, if any.
+    pub fn latest_snapshot(&self) -> Result<Option<SnapshotPackage>, BlockStoreError> {
+        match self.snapshot_sequences()?.last() {
+            Some(seq) => self.snapshot(*seq),
+            None => Ok(None),
+        }
+    }
+
+    /// Records that state transfer installed a snapshot whose checkpoint
+    /// was `sequence`. Written only on install — never by snapshot
+    /// *production* — so a sequence jump in this validator's commit stream
+    /// is licensed exactly when a marker matches the jump boundary.
+    pub fn put_snapshot_install(&self, sequence: u64) -> Result<(), BlockStoreError> {
+        self.inner.put(&install_key(sequence), &[])?;
+        Ok(())
+    }
+
+    /// Checkpoint sequences of every installed snapshot, ascending.
+    pub fn snapshot_installs(&self) -> Result<Vec<u64>, BlockStoreError> {
+        let mut out = Vec::new();
+        for key in self.inner.keys_with_prefix(b"s/j/")? {
+            if key.len() == 4 + 8 {
+                out.push(u64::from_be_bytes(key[4..12].try_into().expect("8 bytes")));
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
     /// Number of stored entries (certificates + indexes + batches).
     pub fn len(&self) -> Result<usize, BlockStoreError> {
         Ok(self.inner.len()?)
@@ -633,6 +767,68 @@ mod tests {
         assert_eq!(s.get_batch(&a.digest()).unwrap(), None);
         assert!(s.committed_batches().unwrap().is_empty());
         assert_eq!(s.load_batches().unwrap(), vec![b]);
+    }
+
+    #[test]
+    fn snapshots_persist_and_supersede() {
+        use nt_execution::{SnapshotBase, SnapshotManifest};
+        let s = store();
+        assert_eq!(s.latest_snapshot().unwrap(), None);
+        let package_at = |seq: u64| SnapshotPackage {
+            manifest: SnapshotManifest::for_app(seq, &seq.to_le_bytes()),
+            signatures: Vec::new(),
+            base: SnapshotBase {
+                checkpoint_seq: seq + 1,
+                ..Default::default()
+            },
+            app: seq.to_le_bytes().to_vec(),
+        };
+        for seq in [32u64, 64, 96] {
+            s.put_snapshot(&package_at(seq)).unwrap();
+        }
+        // Only the newest two are retained; the oldest was superseded.
+        assert_eq!(s.snapshot_sequences().unwrap(), vec![64, 96]);
+        assert_eq!(s.snapshot(32).unwrap(), None);
+        assert_eq!(s.snapshot(64).unwrap(), Some(package_at(64)));
+        assert_eq!(
+            s.latest_snapshot().unwrap().unwrap().manifest.sequence,
+            96,
+            "latest wins"
+        );
+        // Re-putting an existing point (e.g. after a new signature
+        // arrives) overwrites in place.
+        let mut updated = package_at(96);
+        updated.base.checkpoint_seq = 99;
+        s.put_snapshot(&updated).unwrap();
+        assert_eq!(s.snapshot(96).unwrap().unwrap().base.checkpoint_seq, 99);
+        assert_eq!(s.snapshot_sequences().unwrap(), vec![64, 96]);
+    }
+
+    #[test]
+    fn install_markers_and_app_state_roundtrip() {
+        let s = store();
+        assert!(s.snapshot_installs().unwrap().is_empty());
+        s.put_snapshot_install(64).unwrap();
+        s.put_snapshot_install(128).unwrap();
+        assert_eq!(s.snapshot_installs().unwrap(), vec![64, 128]);
+
+        assert_eq!(s.app_state().unwrap(), None);
+        s.put_app_state(7, b"ledger bytes").unwrap();
+        assert_eq!(s.app_state().unwrap(), Some((7, b"ledger bytes".to_vec())));
+        s.put_app_state(8, b"newer").unwrap();
+        assert_eq!(s.app_state().unwrap(), Some((8, b"newer".to_vec())));
+    }
+
+    #[test]
+    fn ordered_refs_sort_by_sequence() {
+        let s = store();
+        let a = Digest::of(b"a");
+        let b = Digest::of(b"b");
+        let c = Digest::of(b"c");
+        s.put_ordered(&b, 2).unwrap();
+        s.put_ordered(&c, 3).unwrap();
+        s.put_ordered(&a, 1).unwrap();
+        assert_eq!(s.ordered_refs().unwrap(), vec![(a, 1), (b, 2), (c, 3)]);
     }
 
     #[test]

@@ -423,8 +423,15 @@ impl<Ext: Clone + Send + 'static> Actor for Worker<Ext> {
                 creator,
             } => {
                 if let Some(batch) = self.store.get(&digest) {
-                    // Already stored: (re-)report to the primary.
+                    // Already held: re-persist, then (re-)report. The report
+                    // is a promise that the durable store can serve the
+                    // bytes — but the primary may have garbage-collected
+                    // them since we first persisted (an execution backlog
+                    // catching up after a restart fetches batches whose
+                    // rounds GC already pruned), so the write-through must
+                    // be repeated, not assumed.
                     let batch = batch.clone();
+                    self.persist(&batch);
                     self.report(&batch, ctx);
                 } else if let std::collections::btree_map::Entry::Vacant(e) =
                     self.fetching.entry(digest)

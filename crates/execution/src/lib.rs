@@ -1,0 +1,110 @@
+//! The execution layer above consensus: deterministic apply of the
+//! committed batch sequence, app-state roots, and signed snapshots.
+//!
+//! Narwhal+Tusk stops at a total order of *batch references*; this crate is
+//! the §8.4 step after it. An [`Execution`] engine consumes committed
+//! blocks in sequence order, applies the batch data retrieved from workers,
+//! and produces an *app-state root* after every commit — a commitment to
+//! the full application state that is, by construction, a pure function of
+//! the committed sequence. Every honest validator therefore stamps the
+//! same root on the same sequence number, which is what makes state
+//! transfer sound: a snapshot of the state at sequence `S` can be verified
+//! against a root that 2f+1 validators signed independently.
+//!
+//! The pieces:
+//!
+//! - [`Execution`]: the ABCI-style engine interface (apply / root /
+//!   snapshot / restore).
+//! - [`ledger`]: a real app behind the trait — an account ledger with
+//!   zipfian-distributed account access, grown out of
+//!   `examples/payment_ledger.rs`.
+//! - [`snapshot`]: the signed-snapshot vocabulary — chunked app state
+//!   behind a [`SnapshotManifest`] whose digest the committee signs, plus
+//!   the [`SnapshotPackage`] a validator persists and serves to joiners.
+//! - [`zipf`]: the zipfian sampler used by the ledger's synthetic-load
+//!   derivation and by client transaction generators.
+
+pub mod ledger;
+pub mod snapshot;
+pub mod zipf;
+
+pub use ledger::{transfer_tx, LedgerApp, LEDGER_ACCOUNTS};
+pub use snapshot::{
+    chunk_of, OrderedRef, SnapshotBase, SnapshotManifest, SnapshotPackage, SnapshotSig,
+    SNAPSHOT_CHUNK,
+};
+pub use zipf::ZipfSampler;
+
+use nt_crypto::Digest;
+use nt_types::{Batch, CommitEvent};
+
+/// One committed batch as the execution engine sees it.
+///
+/// Commits carry batch *references*; the host resolves each reference
+/// against local storage (or fetches it from the worker named in the
+/// certificate) before calling [`Execution::apply`]. A deployment that
+/// splits primary and worker stores cannot resolve payloads at all — then
+/// every validator folds the same commitment instead, so roots still
+/// agree. Mixing resolved and unresolved deployments in one committee
+/// would fork the root; a deployment must pick one mode.
+#[derive(Clone, Debug)]
+pub enum BatchData {
+    /// The full batch payload, resolved locally.
+    Full(Batch),
+    /// Only the commitment to the batch is available.
+    Missing(Digest),
+}
+
+/// Errors surfaced by [`Execution::restore`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum ExecutionError {
+    /// The snapshot bytes do not parse as engine state.
+    Corrupt(&'static str),
+    /// The snapshot's embedded sequence disagrees with the caller's.
+    SequenceMismatch { expected: u64, found: u64 },
+}
+
+impl std::fmt::Display for ExecutionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutionError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+            ExecutionError::SequenceMismatch { expected, found } => {
+                write!(f, "snapshot at sequence {found}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecutionError {}
+
+/// An ABCI-style deterministic state machine driven by the committed
+/// sequence.
+///
+/// The contract every implementation must keep:
+///
+/// - [`apply`](Execution::apply) is called exactly once per committed
+///   block, in sequence order (`event.sequence == last_applied() + 1`),
+///   with `batches` resolved in `event.payload` order.
+/// - The returned root — equal to [`root`](Execution::root) right after
+///   the call — is a pure function of the applied sequence: no clocks, no
+///   local randomness, no iteration over unordered containers.
+/// - [`restore`](Execution::restore) over [`snapshot`](Execution::snapshot)
+///   bytes reproduces the state byte-for-byte: `root()` after a restore at
+///   `S` equals `root()` of the engine that applied `1..=S`.
+pub trait Execution: Send {
+    /// Applies one committed block and returns the post-apply state root.
+    fn apply(&mut self, event: &CommitEvent, batches: &[BatchData]) -> Digest;
+
+    /// Sequence number of the last applied block (0 before any apply).
+    fn last_applied(&self) -> u64;
+
+    /// Commitment to the current application state.
+    fn root(&self) -> Digest;
+
+    /// Serializes the full state for snapshotting; `root()` must equal
+    /// `Digest::of` of exactly these bytes so chunked transfers verify.
+    fn snapshot(&self) -> Vec<u8>;
+
+    /// Replaces the state with a snapshot taken at `sequence`.
+    fn restore(&mut self, sequence: u64, bytes: &[u8]) -> Result<(), ExecutionError>;
+}

@@ -1,0 +1,102 @@
+//! Zipfian sampling over a fixed account universe.
+//!
+//! Payment workloads are heavily skewed — a few hot accounts absorb most
+//! transfers — and the standard way to model that is a zipfian access
+//! distribution (YCSB uses exponent ≈ 1). The sampler precomputes the
+//! normalized CDF once and draws by binary search, so sampling is cheap
+//! enough for per-transaction use inside [`apply`](crate::Execution::apply).
+
+use rand::{Rng, RngExt};
+
+/// Draws account indices `0..n` with probability proportional to
+/// `1 / (index + 1)^exponent`.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for `n` accounts at the given skew exponent.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "zipf needs a non-empty universe");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0_f64;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(exponent);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of accounts in the universe.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the universe is empty (never true: `new` asserts `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one account index.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf entries are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn skews_toward_low_ranks() {
+        let zipf = ZipfSampler::new(1000, 1.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut head = 0usize;
+        let draws = 10_000;
+        for _ in 0..draws {
+            if zipf.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // The top 1% of ranks should absorb far more than 1% of draws
+        // (analytically ~39% at exponent 1 over 1000 ranks).
+        assert!(head > draws / 5, "head draws: {head}/{draws}");
+    }
+
+    #[test]
+    fn covers_the_whole_range() {
+        let zipf = ZipfSampler::new(8, 0.5);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..10_000 {
+            seen[zipf.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let zipf = ZipfSampler::new(64, 1.0);
+        let a: Vec<usize> = {
+            let mut rng = SmallRng::seed_from_u64(42);
+            (0..100).map(|_| zipf.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = SmallRng::seed_from_u64(42);
+            (0..100).map(|_| zipf.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

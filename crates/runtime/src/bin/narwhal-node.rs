@@ -13,12 +13,17 @@
 //! `--store` (one file per role, so a validator's primary and workers can
 //! share a directory), and drives the node until killed. With
 //! `--commit-log`, every committed block appends one line
-//! `<sequence> <round> <author>`; each process start first appends a
-//! `# start` marker, so restarts are visible to log consumers.
+//! `<sequence> <round> <author> <app_root>`; each process start first
+//! appends a `# start` marker, so restarts are visible to log consumers,
+//! and whenever the bounded commit subscription sheds events because the
+//! log consumer lagged, a `# dropped <total>` marker records the running
+//! count — silent loss is never silent in the log. `--app ledger` attaches
+//! the account-ledger execution engine to primaries, which stamps a
+//! non-zero `app_root` per commit and snapshots app state into the store.
 
 use narwhal::NodeRole;
 use nt_network::NodeId;
-use nt_runtime::{build_node, CommitteeConfig, KeyFile, Transport};
+use nt_runtime::{build_node_with_app, AppKind, CommitteeConfig, KeyFile, Transport};
 use nt_storage::{DynStore, WalStore};
 use nt_types::{ValidatorId, WorkerId};
 use std::io::Write;
@@ -47,7 +52,7 @@ fn main() {
 fn usage() -> String {
     "usage:\n  narwhal-node keygen --scheme <insecure|ed25519> --index <n> --out <file>\n  \
      narwhal-node run --committee <file> --key <file> --role <primary|worker:N> \
-     --store <dir> [--commit-log <file>]"
+     --store <dir> [--commit-log <file>] [--app <none|ledger>]"
         .to_string()
 }
 
@@ -99,6 +104,10 @@ fn run(args: &[String]) -> Result<(), String> {
     let role = parse_role(&flag(args, "--role").ok_or("run needs --role")?)?;
     let store_dir = PathBuf::from(flag(args, "--store").ok_or("run needs --store <dir>")?);
     let commit_log = flag(args, "--commit-log");
+    let app = match flag(args, "--app") {
+        Some(name) => AppKind::parse(&name)?,
+        None => AppKind::None,
+    };
 
     let config_text = std::fs::read_to_string(&committee_path)
         .map_err(|e| format!("reading {committee_path}: {e}"))?;
@@ -143,7 +152,7 @@ fn run(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("opening {wal_name}: {e}"))?;
     let store: DynStore = Arc::new(wal);
 
-    let mut node = build_node(&config, me, role, Some(keypair), Some(store));
+    let mut node = build_node_with_app(&config, me, role, Some(keypair), Some(store), app);
 
     // The commit log rides the CommitStream subscription — the driver
     // never interprets commit effects itself.
@@ -158,11 +167,22 @@ fn run(args: &[String]) -> Result<(), String> {
         writeln!(file, "# start").map_err(|e| e.to_string())?;
         file.flush().map_err(|e| e.to_string())?;
         log_thread = Some(std::thread::spawn(move || {
+            // Lag-shed events must be observable: whenever the bounded
+            // subscription dropped more commits since the last line, record
+            // the running total before the next event.
+            let mut dropped_logged = 0;
             while let Some(event) = commits.next_timeout(Duration::from_secs(3600)) {
+                let dropped = commits.dropped();
+                if dropped > dropped_logged {
+                    dropped_logged = dropped;
+                    if writeln!(file, "# dropped {dropped}").is_err() {
+                        return;
+                    }
+                }
                 if writeln!(
                     file,
-                    "{} {} {}",
-                    event.sequence, event.round, event.author.0
+                    "{} {} {} {:?}",
+                    event.sequence, event.round, event.author.0, event.app_root
                 )
                 .and_then(|_| file.flush())
                 .is_err()

@@ -11,6 +11,7 @@
 //! system bullshark
 //! workers 1
 //! gc_depth 200
+//! snapshot_interval 32
 //! validator 0 <pk hex> 127.0.0.1:9000 127.0.0.1:9100
 //! validator 1 <pk hex> 127.0.0.1:9001 127.0.0.1:9101
 //! ...
@@ -146,6 +147,10 @@ impl CommitteeConfig {
                     narwhal.gc_depth =
                         parse_num(parts.next()).ok_or_else(|| fail("bad gc_depth"))?;
                 }
+                "snapshot_interval" => {
+                    narwhal.snapshot_interval =
+                        parse_num(parts.next()).ok_or_else(|| fail("bad snapshot_interval"))?;
+                }
                 "batch_bytes" => {
                     narwhal.batch_bytes =
                         parse_num(parts.next()).ok_or_else(|| fail("bad batch_bytes"))?;
@@ -229,6 +234,10 @@ impl CommitteeConfig {
         out.push_str(&format!("system {}\n", self.system.as_str()));
         out.push_str(&format!("workers {}\n", self.workers));
         out.push_str(&format!("gc_depth {}\n", self.narwhal.gc_depth));
+        out.push_str(&format!(
+            "snapshot_interval {}\n",
+            self.narwhal.snapshot_interval
+        ));
         out.push_str(&format!("batch_bytes {}\n", self.narwhal.batch_bytes));
         out.push_str(&format!(
             "max_batch_delay_ms {}\n",

@@ -39,9 +39,42 @@ pub use transport::{ClientConn, Transport};
 use bullshark::{Bullshark, Reputation, RoundRobin};
 use narwhal::{NoExt, Node, NodeBuilder, NodeRole};
 use nt_crypto::KeyPair;
+use nt_execution::{Execution, LedgerApp};
 use nt_storage::DynStore;
 use nt_types::ValidatorId;
 use tusk::Tusk;
+
+/// The application a primary executes (`narwhal-node --app`).
+///
+/// Every primary of a deployment must pick the same kind: the app defines
+/// the `app_root` stamped on each commit, and a mixed committee could never
+/// aggregate 2f+1 snapshot signatures over one manifest.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AppKind {
+    /// No execution engine: commits carry a zero `app_root`.
+    #[default]
+    None,
+    /// The account ledger ([`nt_execution::LedgerApp`]).
+    Ledger,
+}
+
+impl AppKind {
+    /// Parses a `--app` flag value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "none" => Ok(AppKind::None),
+            "ledger" => Ok(AppKind::Ledger),
+            other => Err(format!("unknown app '{other}' (expected none or ledger)")),
+        }
+    }
+
+    fn execution(self) -> Option<Box<dyn Execution>> {
+        match self {
+            AppKind::None => None,
+            AppKind::Ledger => Some(Box::new(LedgerApp::new())),
+        }
+    }
+}
 
 /// Builds the [`Node`] for one host of `config`'s deployment.
 ///
@@ -56,6 +89,20 @@ pub fn build_node(
     keypair: Option<KeyPair>,
     store: Option<DynStore>,
 ) -> Node<NoExt> {
+    build_node_with_app(config, me, role, keypair, store, AppKind::None)
+}
+
+/// [`build_node`] with an execution engine attached to primaries (workers
+/// ignore `app`): each committed block is applied in sequence order and its
+/// `app_root` stamped, with durable snapshots when a store is present.
+pub fn build_node_with_app(
+    config: &CommitteeConfig,
+    me: ValidatorId,
+    role: NodeRole,
+    keypair: Option<KeyPair>,
+    store: Option<DynStore>,
+    app: AppKind,
+) -> Node<NoExt> {
     let committee = config.committee();
     let mut builder = NodeBuilder::new(committee.clone(), me.0).config(config.narwhal.clone());
     if let Some(keypair) = keypair {
@@ -63,6 +110,11 @@ pub fn build_node(
     }
     if let Some(store) = store {
         builder = builder.store(store);
+    }
+    if role == NodeRole::Primary {
+        if let Some(execution) = app.execution() {
+            builder = builder.execution(execution);
+        }
     }
     match role {
         NodeRole::Primary => match config.system {

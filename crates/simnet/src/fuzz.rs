@@ -236,17 +236,17 @@ pub struct FuzzPlan {
     /// *some* committee members alive through the run).
     pub max_concurrent_down: u32,
     /// Minimum gap between two outages of the *same* unit: a restarted
-    /// validator needs real time to pull the rounds it missed before the
-    /// next crash throws the (volatile) sync state away, or back-to-back
-    /// outages compound into a gap only the still-open state-transfer
-    /// path could close.
+    /// validator needs real time to pull the rounds it missed (or to fetch
+    /// and install a snapshot) before the next crash throws the (volatile)
+    /// sync state away.
     pub unit_outage_gap: Time,
     /// Cap on one unit's summed outage time, for the same reason.
     pub unit_downtime: Time,
     /// Cap on the summed window lengths of all events: bounds how far any
-    /// validator can fall behind (must stay well under `gc_depth` rounds of
-    /// simulated time, or catch-up would need the still-open state-transfer
-    /// path).
+    /// validator can fall behind. Deployments without snapshot state
+    /// transfer must keep this well under `gc_depth` rounds of simulated
+    /// time; snapshot-capable runs may exceed it (the laggard recovers via
+    /// a signed snapshot instead of per-certificate sync).
     pub fault_mass: Time,
 }
 

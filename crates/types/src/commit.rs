@@ -46,6 +46,10 @@ pub struct CommitEvent {
     /// Cumulative count of anchors committed indirectly (via the recursive
     /// path rule) up to and including this event.
     pub indirect_commits: u64,
+    /// Application state root after executing this block, stamped by the
+    /// attached execution engine. Zero when no engine is attached: the
+    /// mempool/consensus layers never interpret it.
+    pub app_root: Digest,
 }
 
 impl CommitEvent {

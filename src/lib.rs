@@ -16,6 +16,8 @@
 //!   `narwhal-node` binary for process-per-validator deployments).
 //! - [`simnet`]: the deterministic discrete-event WAN simulator.
 //! - [`narwhal`]: the Narwhal mempool (primary, workers, synchronizer, GC).
+//! - [`execution`]: the ABCI-style execution layer (account ledger, state
+//!   roots, signed snapshots for state transfer).
 //! - [`tusk`]: the Tusk asynchronous consensus (and the DAG-Rider variant).
 //! - [`bullshark`]: partially-synchronous Bullshark with pluggable leader
 //!   schedules (round-robin, Shoal-style reputation).
@@ -27,6 +29,7 @@ pub use narwhal;
 pub use nt_bench as bench;
 pub use nt_codec as codec;
 pub use nt_crypto as crypto;
+pub use nt_execution as execution;
 pub use nt_hotstuff as hotstuff;
 pub use nt_network as network;
 pub use nt_runtime as runtime;
