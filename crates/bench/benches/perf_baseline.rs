@@ -3,17 +3,62 @@
 //! Usage (`cargo bench -p nt_bench --bench perf_baseline -- [flags]`):
 //!
 //! - (no flags): the full matrix (4 DAG systems × committees of 4/10/20,
-//!   30 s runs), written to `BENCH_7.json` at the repository root.
+//!   30 s runs), written to `BENCH_8.json` at the repository root.
 //! - `--test`: a quick one-committee matrix written to a scratch path and
 //!   sanity-checked — the CI smoke profile.
 //! - `--out PATH`: override the output path.
 //!
 //! Everything recorded is a simulated quantity, so the file is a
 //! deterministic function of the code: later PRs regenerate it and diff.
+//! When the previous issue's baseline (`BENCH_7.json`) is present, the run
+//! also prints a per-point delta table against it.
 
-use nt_bench::baseline::{render_json, run_baseline};
+use nt_bench::baseline::{render_json, run_baseline, BaselineEntry};
 
-const ISSUE: u64 = 7;
+const ISSUE: u64 = 8;
+
+/// Pulls a numeric field out of one hand-rolled baseline entry line.
+fn field(line: &str, name: &str) -> Option<f64> {
+    let rest = &line[line.find(&format!("\"{name}\": "))? + name.len() + 4..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Prints throughput/latency deltas vs the previous issue's baseline file,
+/// matching points by (system, nodes). Missing file or unmatched points are
+/// skipped silently — the delta table is informational, the acceptance
+/// comparison happens in CI over the committed JSON.
+fn print_deltas(entries: &[BaselineEntry], prev_path: &str) {
+    let Ok(prev) = std::fs::read_to_string(prev_path) else {
+        return;
+    };
+    println!("delta vs {prev_path}:");
+    for entry in entries {
+        let name = entry.system.name();
+        let Some(line) = prev.lines().find(|l| {
+            l.contains(&format!("\"system\": \"{name}\""))
+                && l.contains(&format!("\"nodes\": {},", entry.nodes))
+        }) else {
+            continue;
+        };
+        let (Some(tput), Some(p50), Some(p99)) = (
+            field(line, "throughput_tps"),
+            field(line, "p50_latency_s"),
+            field(line, "p99_latency_s"),
+        ) else {
+            continue;
+        };
+        let pct = |new: f64, old: f64| 100.0 * (new - old) / old;
+        println!(
+            "  {:>13} n={:<3} tput {:+6.1}%  p50 {:+6.1}%  p99 {:+6.1}%",
+            name,
+            entry.nodes,
+            pct(entry.stats.throughput_tps, tput),
+            pct(entry.stats.p50_latency_s, p50),
+            pct(entry.stats.p99_latency_s, p99),
+        );
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -57,6 +102,8 @@ fn main() {
         );
         assert!(entry.stats.p99_latency_s > 0.0 && entry.stats.p99_latency_s < 30.0);
     }
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    print_deltas(&entries, &format!("{root}/BENCH_{}.json", ISSUE - 1));
     std::fs::write(&out_path, &json).expect("write baseline json");
     println!(
         "wrote {} entries in {:.0}s",

@@ -313,6 +313,8 @@ pub fn self_test() -> Vec<SelfTestArm> {
         ],
     };
     let torn_outages = vec![
+        (208, torn_outage(10_100, 20)),
+        (366, torn_outage(10_100, 16)),
         (219, torn_outage(10_100, 12)),
         (219, torn_outage(9_700, 20)),
         (11, torn_outage(10_100, 12)),

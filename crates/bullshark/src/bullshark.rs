@@ -29,7 +29,7 @@
 //! the familiar Bullshark recursion, one anchor per settled wave.
 
 use crate::schedule::LeaderSchedule;
-use narwhal::{ConsensusOut, Dag, DagConsensus, NoExt};
+use narwhal::{CertId, ConsensusOut, Dag, DagConsensus, DagView, NoExt};
 use nt_codec::{decode_from_slice, encode_to_vec};
 use nt_types::{Certificate, Committee, Round, ValidatorId};
 
@@ -93,12 +93,16 @@ impl<S: LeaderSchedule> Bullshark<S> {
             .cloned()
     }
 
-    /// The wave's leader certificate if it has direct-commit support:
-    /// `2f + 1` voting-round blocks referencing it.
-    fn direct_anchor(&self, dag: &Dag, wave: u64) -> Option<Certificate> {
-        let leader = self.leader_of(dag, wave)?;
-        let support = dag.support(&leader.header_digest(), leader.round());
-        (support >= self.committee.quorum_threshold()).then_some(leader)
+    /// The interned id of `wave`'s leader block, if present.
+    fn leader_id_of(&self, view: DagView<'_>, wave: u64) -> Option<CertId> {
+        view.id_at(Self::leader_round(wave), self.schedule.leader(wave))
+    }
+
+    /// The wave's leader block if it has direct-commit support: `2f + 1`
+    /// voting-round blocks referencing it.
+    fn direct_anchor(&self, view: DagView<'_>, wave: u64) -> Option<CertId> {
+        let leader = self.leader_id_of(view, wave)?;
+        (view.support(leader) >= self.committee.quorum_threshold()).then_some(leader)
     }
 
     /// Re-evaluates all unsettled waves against the current DAG; returns
@@ -108,14 +112,15 @@ impl<S: LeaderSchedule> Bullshark<S> {
     /// support *now* may gain it as voting-round blocks arrive, so every
     /// insertion re-checks until a later wave's direct commit settles it.
     fn try_decide(&mut self, dag: &Dag) -> Vec<Certificate> {
+        let view = dag.view();
         let mut anchors = Vec::new();
         'instances: loop {
             // One instance: the schedule is fixed; scan for the lowest wave
             // with direct-commit evidence.
             let mut wave = self.settled_wave + 1;
-            while Self::voting_round(wave) <= dag.highest_round() {
-                if let Some(anchor) = self.direct_anchor(dag, wave) {
-                    anchors.push(self.settle_instance(dag, anchor, wave));
+            while Self::voting_round(wave) <= view.highest_round() {
+                if let Some(anchor) = self.direct_anchor(view, wave) {
+                    anchors.push(self.settle_instance(view, anchor, wave));
                     // The schedule advanced: re-evaluate the waves above
                     // the committed one under the updated leader map.
                     continue 'instances;
@@ -130,7 +135,7 @@ impl<S: LeaderSchedule> Bullshark<S> {
     /// the DAG down to the lowest reachable leader, commits *that* anchor,
     /// records it and every skipped wave below it with the schedule, and
     /// leaves the waves above for re-evaluation.
-    fn settle_instance(&mut self, dag: &Dag, anchor: Certificate, wave: u64) -> Certificate {
+    fn settle_instance(&mut self, view: DagView<'_>, anchor: CertId, wave: u64) -> Certificate {
         // Snapshot the instance's leader map before any `record` mutates
         // the schedule: the skips recorded below must name exactly the
         // leaders the walk checked, or a reputation schedule would
@@ -138,17 +143,18 @@ impl<S: LeaderSchedule> Bullshark<S> {
         let base = self.settled_wave + 1;
         let leaders: Vec<ValidatorId> = (base..=wave).map(|w| self.schedule.leader(w)).collect();
         let mut first = (wave, anchor);
-        let mut candidate = first.1.clone();
+        let mut candidate = anchor;
         for w in (base..wave).rev() {
             let leader = leaders[(w - base) as usize];
-            if let Some(past) = dag.get(Self::leader_round(w), leader) {
-                if dag.path_exists(&candidate, past) {
-                    candidate = past.clone();
-                    first = (w, candidate.clone());
+            if let Some(past) = view.id_at(Self::leader_round(w), leader) {
+                if view.path_exists(candidate, past) {
+                    candidate = past;
+                    first = (w, past);
                 }
             }
         }
-        let (first_wave, cert) = first;
+        let (first_wave, id) = first;
+        let cert = view.cert(id).clone();
         for w in base..first_wave {
             // Not on the anchor's path: no validator can ever commit this
             // wave's leader (quorum intersection), so the skip is final.
@@ -222,6 +228,40 @@ impl<S: LeaderSchedule> DagConsensus for Bullshark<S> {
         } else {
             Vec::new()
         }
+    }
+
+    fn coverage_wishes(
+        &self,
+        dag: &Dag,
+        round: Round,
+        me: ValidatorId,
+    ) -> Vec<(Round, ValidatorId)> {
+        let _ = dag;
+        if round == 0 {
+            return Vec::new();
+        }
+        // A leader about to propose its own anchor wishes for *every*
+        // previous-round certificate: the anchor's causal history is the
+        // commit sweep, and a history built from the bare 2f + 1 fastest
+        // certificates never reaches the slowest regions' chains — their
+        // blocks then wait for the next anchor led from their own region
+        // (10 rounds at n = 10 under round-robin; unboundedly long under a
+        // reputation schedule that stops electing them). Non-anchor blocks
+        // keep proposing at quorum, so the round cadence is untouched.
+        if round >= 3 && !round.is_multiple_of(2) && self.schedule.leader(round.div_ceil(2)) == me {
+            return (0..self.committee.size())
+                .map(|v| (round - 1, ValidatorId(v as u32)))
+                .collect();
+        }
+        // Every other block wishes for its author's own previous
+        // certificate — chain continuity. A validator whose vote
+        // round-trips outlast the round cadence otherwise proposes round r
+        // without its round r − 1 certificate; if no peer referenced that
+        // certificate either, everything below it is unreachable from
+        // every future anchor and its batches stall until GC re-injection,
+        // a gc_depth-round latency cliff (observed as ~16 s p99 on 10- and
+        // 20-node committees before this wish existed).
+        vec![(round - 1, me)]
     }
 }
 

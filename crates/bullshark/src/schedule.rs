@@ -80,8 +80,13 @@ impl LeaderSchedule for RoundRobin {
 }
 
 /// Shoal-style leader reputation: committed leaders gain score, skipped
-/// leaders lose it, and waves rotate round-robin over the `n - f`
-/// best-scored validators only.
+/// leaders lose it, and waves rotate round-robin over the best-scored
+/// validators only — everyone whose score ties or beats the `n - f`-th
+/// best. Ties are *included*: exclusion needs evidence that a validator is
+/// strictly worse than the cut, or a fresh committee would permanently
+/// bench its highest ids on nothing but the id tie-break (validators that
+/// never lead can never earn score, so an id-ordered prefix of equals is
+/// self-perpetuating).
 ///
 /// Scores are clamped so a recovered validator can climb back into the
 /// eligible set after roughly `SCORE_CLAMP / SKIP_PENALTY` clean recoveries
@@ -90,7 +95,10 @@ impl LeaderSchedule for RoundRobin {
 #[derive(Clone, Debug)]
 pub struct Reputation {
     scores: Vec<i64>,
-    /// How many of the best-scored validators stay in rotation (`n - f`).
+    /// Guaranteed rotation width (`n - f`); ties at the cut extend it.
+    eligible_base: usize,
+    /// Validators whose score ties or beats the `eligible_base`-th best —
+    /// the actual rotation width.
     eligible: usize,
     /// Validator ids ranked best-first, maintained on [`Reputation::record`]
     /// — `leader()` sits in per-certificate hot loops and must not sort.
@@ -112,7 +120,8 @@ impl Reputation {
         let f = committee.validity_threshold() - 1;
         Reputation {
             scores: vec![0; n],
-            eligible: n - f,
+            eligible_base: n - f,
+            eligible: n,
             ranked: (0..n as u32).collect(),
         }
     }
@@ -122,11 +131,19 @@ impl Reputation {
         self.scores[validator.0 as usize]
     }
 
-    /// Re-ranks validator ids best-first: by score descending, then id
-    /// ascending — a total order, so every validator ranks identically.
+    /// Re-ranks validator ids best-first (by score descending, then id
+    /// ascending — a total order, so every validator ranks identically)
+    /// and recomputes the eligible width: everyone scoring at least as
+    /// well as the `eligible_base`-th best rotates.
     fn rerank(&mut self) {
         let scores = &self.scores;
         self.ranked.sort_by_key(|&v| (-scores[v as usize], v));
+        let cutoff = scores[self.ranked[self.eligible_base - 1] as usize];
+        self.eligible = self
+            .ranked
+            .iter()
+            .take_while(|&&v| scores[v as usize] >= cutoff)
+            .count();
     }
 }
 
@@ -183,12 +200,23 @@ mod tests {
     }
 
     #[test]
-    fn reputation_starts_as_round_robin_over_eligible_prefix() {
-        // n = 4, f = 1: the 3 best-scored validators rotate; with equal
-        // scores the tie-break is by id, so validator 3 sits out.
+    fn reputation_starts_as_round_robin_over_everyone() {
+        // Equal scores exclude nobody: demotion needs evidence, not an id
+        // tie-break, so a fresh schedule rotates over the full committee.
         let rep = Reputation::new(&committee(4));
-        let leaders: Vec<u32> = (1..=4).map(|w| rep.leader(w).0).collect();
-        assert_eq!(leaders, vec![0, 1, 2, 0]);
+        let leaders: Vec<u32> = (1..=5).map(|w| rep.leader(w).0).collect();
+        assert_eq!(leaders, vec![0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn ties_at_the_cut_stay_eligible() {
+        // n = 4, f = 1: the guaranteed rotation width is 3, but a validator
+        // tying the 3rd-best score is not excluded.
+        let mut rep = Reputation::new(&committee(4));
+        rep.record(1, ValidatorId(0), true);
+        // Scores [1, 0, 0, 0]: the 3rd best is 0, tied by validator 3.
+        let leaders: Vec<u32> = (2..=9).map(|w| rep.leader(w).0).collect();
+        assert!(leaders.contains(&3), "tied validator rotates: {leaders:?}");
     }
 
     #[test]

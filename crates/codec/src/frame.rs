@@ -20,7 +20,10 @@
 //! fails any bound or decode check is a protocol violation — transports
 //! must drop the connection (and never panic); the peer will reconnect.
 
-use crate::{decode_from_slice, encode_to_vec, Decode, DecodeError, Encode, Reader};
+use crate::{
+    decode_borrowed_from_slice, decode_from_slice, encode_to_vec, Decode, DecodeBorrowed,
+    DecodeError, Encode, Reader,
+};
 use std::fmt;
 use std::io::{self, Read, Write};
 
@@ -83,6 +86,55 @@ impl Decode for Envelope {
             version: u32::decode(reader)?,
             sender: u64::decode(reader)?,
             payload: Vec::<u8>::decode(reader)?,
+        })
+    }
+}
+
+/// A zero-copy view of an [`Envelope`]: the payload borrows the frame body.
+///
+/// Transports buffer raw connection bytes and drain whole frames out of the
+/// buffer; parsing the envelope as a view means the only copy on the read
+/// path is the one that materializes the payload for the recipient — the
+/// frame body itself is never duplicated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EnvelopeRef<'a> {
+    /// Protocol version of the sender ([`PROTOCOL_VERSION`]).
+    pub version: u32,
+    /// The sender's flat `NodeId` (`u64::MAX` is the external-client id).
+    pub sender: u64,
+    /// The encoded message, borrowed from the frame body.
+    pub payload: &'a [u8],
+}
+
+impl<'a> EnvelopeRef<'a> {
+    /// Parses a frame body as an envelope view, requiring full consumption.
+    ///
+    /// Accepts exactly the bytes `decode_from_slice::<Envelope>` accepts.
+    pub fn parse(body: &'a [u8]) -> Result<EnvelopeRef<'a>, DecodeError> {
+        decode_borrowed_from_slice(body)
+    }
+
+    /// Decodes the payload as an `M`, requiring full consumption.
+    pub fn open<M: Decode>(&self) -> Result<M, DecodeError> {
+        decode_from_slice(self.payload)
+    }
+
+    /// Materializes an owned [`Envelope`] (the single payload copy).
+    pub fn to_owned(&self) -> Envelope {
+        Envelope {
+            version: self.version,
+            sender: self.sender,
+            payload: self.payload.to_vec(),
+        }
+    }
+}
+
+impl<'a> DecodeBorrowed<'a> for EnvelopeRef<'a> {
+    fn decode_borrowed(reader: &mut Reader<'a>) -> Result<Self, DecodeError> {
+        Ok(EnvelopeRef {
+            version: u32::decode(reader)?,
+            sender: u64::decode(reader)?,
+            payload: <&[u8]>::decode_borrowed(reader)?,
         })
     }
 }
@@ -164,6 +216,42 @@ mod tests {
         let back: Envelope = decode_from_slice(&bytes).unwrap();
         assert_eq!(back, env);
         assert_eq!(back.version, PROTOCOL_VERSION);
+    }
+
+    #[test]
+    fn envelope_ref_agrees_with_owned() {
+        let env = sample();
+        let bytes = encode_to_vec(&env);
+        let view = EnvelopeRef::parse(&bytes).unwrap();
+        assert_eq!(view.version, env.version);
+        assert_eq!(view.sender, env.sender);
+        assert_eq!(view.payload, &env.payload[..]);
+        assert_eq!(view.to_owned(), env);
+        // Truncations and trailing bytes are rejected exactly like the
+        // owned decoder.
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                EnvelopeRef::parse(&bytes[..cut]).is_err(),
+                decode_from_slice::<Envelope>(&bytes[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(matches!(
+            EnvelopeRef::parse(&extended),
+            Err(DecodeError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn envelope_ref_open_decodes_payload() {
+        let env = Envelope::seal(7, &(42u64, vec![1u8, 2, 3]));
+        let bytes = encode_to_vec(&env);
+        let view = EnvelopeRef::parse(&bytes).unwrap();
+        let (n, data): (u64, Vec<u8>) = view.open().unwrap();
+        assert_eq!(n, 42);
+        assert_eq!(data, vec![1, 2, 3]);
     }
 
     #[test]

@@ -29,7 +29,9 @@ use std::fmt;
 pub mod frame;
 mod impls;
 
-pub use frame::{read_frame, write_frame, Envelope, FrameError, MAX_FRAME_LEN, PROTOCOL_VERSION};
+pub use frame::{
+    read_frame, write_frame, Envelope, EnvelopeRef, FrameError, MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
 
 /// Errors produced while decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,6 +90,48 @@ pub trait Decode: Sized {
     /// Reads a value from `reader`.
     fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError>;
 }
+
+/// Types that can be decoded *borrowing* from the input buffer.
+///
+/// The zero-copy counterpart of [`Decode`]: byte sequences come back as
+/// `&'a [u8]` slices into the input instead of freshly allocated vectors.
+/// The wire format is identical — a borrowed decode accepts exactly the
+/// bytes its owned counterpart accepts — so hot read paths (the runtime's
+/// frame drain, batch ingestion) can defer or skip materialization.
+pub trait DecodeBorrowed<'a>: Sized {
+    /// Reads a value from `reader`, borrowing byte sequences from the
+    /// underlying input.
+    fn decode_borrowed(reader: &mut Reader<'a>) -> Result<Self, DecodeError>;
+}
+
+impl<'a> DecodeBorrowed<'a> for &'a [u8] {
+    fn decode_borrowed(reader: &mut Reader<'a>) -> Result<Self, DecodeError> {
+        let len = reader.take_len()?;
+        reader.take(len)
+    }
+}
+
+impl<'a, T: DecodeBorrowed<'a>> DecodeBorrowed<'a> for Vec<T> {
+    fn decode_borrowed(reader: &mut Reader<'a>) -> Result<Self, DecodeError> {
+        let len = reader.take_len()?;
+        let mut out = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            out.push(T::decode_borrowed(reader)?);
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! borrow_via_decode {
+    ($($t:ty),*) => {$(
+        impl<'a> DecodeBorrowed<'a> for $t {
+            fn decode_borrowed(reader: &mut Reader<'a>) -> Result<Self, DecodeError> {
+                <$t as Decode>::decode(reader)
+            }
+        }
+    )*};
+}
+borrow_via_decode!(u8, u16, u32, u64, bool);
 
 /// A cursor over input bytes.
 pub struct Reader<'a> {
@@ -193,6 +237,18 @@ pub fn decode_from_slice<T: Decode>(bytes: &[u8]) -> Result<T, DecodeError> {
     Ok(value)
 }
 
+/// Decodes a value borrowing from `bytes`, requiring full consumption.
+pub fn decode_borrowed_from_slice<'a, T: DecodeBorrowed<'a>>(
+    bytes: &'a [u8],
+) -> Result<T, DecodeError> {
+    let mut reader = Reader::new(bytes);
+    let value = T::decode_borrowed(&mut reader)?;
+    if reader.remaining() != 0 {
+        return Err(DecodeError::TrailingBytes(reader.remaining()));
+    }
+    Ok(value)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +295,21 @@ mod tests {
         assert!(r.take(4).is_err());
         assert_eq!(r.take(3).unwrap(), &[1, 2, 3]);
         assert!(r.take_byte().is_err());
+    }
+
+    #[test]
+    fn borrowed_bytes_round_trip_without_copying() {
+        let value: Vec<u8> = (0u8..200).collect();
+        let bytes = encode_to_vec(&value);
+        let view: &[u8] = decode_borrowed_from_slice(&bytes).unwrap();
+        assert_eq!(view, &value[..]);
+        // The view aliases the input buffer — no allocation happened.
+        assert_eq!(view.as_ptr(), bytes[bytes.len() - 200..].as_ptr());
+        // Nested sequences borrow element-wise.
+        let nested: Vec<Vec<u8>> = vec![vec![1, 2], vec![], vec![3]];
+        let bytes = encode_to_vec(&nested);
+        let views: Vec<&[u8]> = decode_borrowed_from_slice(&bytes).unwrap();
+        assert_eq!(views, vec![&[1u8, 2][..], &[][..], &[3][..]]);
     }
 
     #[test]

@@ -79,6 +79,14 @@ pub struct NarwhalConfig {
     /// Propose a block after this delay even with an empty payload
     /// (empty blocks keep the DAG — and thus consensus — alive).
     pub max_header_delay: Time,
+    /// Upper bound on waiting for a parent the consensus protocol *wished*
+    /// for (Bullshark's wave leader) before proposing leaderless — the
+    /// partial-synchrony leader timeout. Must cover a WAN vote round-trip
+    /// plus certificate propagation, which is longer than the payload
+    /// deadline: with the two collapsed, waves led by far-region validators
+    /// systematically miss their `2f + 1` direct quorum and every commit
+    /// behind them stalls on the indirect path.
+    pub max_leader_delay: Time,
     /// Maximum number of batch digests per block. Bounds the primary block
     /// at ~2.5 KB; at ten workers the scale-out needs ~40 digests per block
     /// (§4.2's "future bottleneck" arithmetic).
@@ -109,6 +117,7 @@ impl Default for NarwhalConfig {
             tx_bytes: 512,
             max_batch_delay: 100 * MS,
             max_header_delay: 100 * MS,
+            max_leader_delay: 400 * MS,
             header_payload_limit: 64,
             gc_depth: 50,
             sync_retry_delay: 500 * MS,

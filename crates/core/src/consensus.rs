@@ -123,6 +123,32 @@ pub trait DagConsensus: Send {
         let _ = (dag, round);
         Vec::new()
     }
+
+    /// Parents worth a *short*, payload-deadline-bounded wait before `me`
+    /// proposes its `round` block, as `(round - 1, author)` slots.
+    ///
+    /// Where [`DagConsensus::parent_wishes`] buys a whole WAN round-trip
+    /// for the one certificate a wave cannot commit without, this hook is
+    /// a best-effort coverage hint for blocks whose *causal history* is
+    /// what commits: an anchor ("leader block") sweeps everything it can
+    /// reach, so an anchor proposed at bare 2f + 1 quorum strands the
+    /// slowest validators' chains until a leader from their own region
+    /// comes up — rounds of extra latency for their batches. Waiting the
+    /// few extra milliseconds for full parent coverage is free as long as
+    /// it stays inside the quorum slack (the gap between the anchor's own
+    /// certificate forming and the 2f + 1st certificate the round advance
+    /// actually waits for), which is why the primary bounds the wait by
+    /// `max_header_delay`, not the leader timeout. The default wishes for
+    /// nothing.
+    fn coverage_wishes(
+        &self,
+        dag: &Dag,
+        round: Round,
+        me: ValidatorId,
+    ) -> Vec<(Round, ValidatorId)> {
+        let _ = (dag, round, me);
+        Vec::new()
+    }
 }
 
 /// The uninhabited extension type for zero-message-overhead protocols.

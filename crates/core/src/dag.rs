@@ -14,6 +14,24 @@
 //! Garbage collection (§3.3) is expressed by the *first retained round*:
 //! everything below it has been pruned, late messages for pruned rounds are
 //! ignored, and history traversal stops at the boundary.
+//!
+//! # Interned arena representation
+//!
+//! Certificates live in a dense slab addressed by [`CertId`], and parent
+//! edges are *interned*: each parent digest is resolved to a `CertId` once,
+//! at insertion (or retroactively, when a parent arrives after a child that
+//! references it). Traversals — history collection, path existence, support
+//! counting — then walk 4-byte indices instead of hashing 32-byte digests
+//! through a `HashMap` at every edge, which is where the hot path of every
+//! commit used to go. The resolved ids sit in a vector *parallel to the
+//! header's parent list*, so traversal order is a pure function of block
+//! contents, never of message arrival order. Garbage collection compacts
+//! the slab (dropping pruned slots and renumbering the survivors), keeping
+//! the working set dense under the §3.3 sliding window.
+//!
+//! Consensus implementations use the id-based read API via [`Dag::view`];
+//! the digest-based entry points remain for callers holding certificates
+//! that may not be in the DAG (ingress, state transfer).
 
 use nt_crypto::Digest;
 use nt_types::{Certificate, Round, ValidatorId};
@@ -30,12 +48,45 @@ pub enum InsertOutcome {
     BelowGc,
 }
 
+/// Dense index of a certificate in the DAG's slab.
+///
+/// Ids are only meaningful for the `Dag` that issued them, and garbage
+/// collection renumbers the survivors — do not hold a `CertId` across a
+/// call to [`Dag::gc`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CertId(u32);
+
+impl CertId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One interned certificate.
+struct Slot {
+    cert: Certificate,
+    digest: Digest,
+    round: Round,
+    author: ValidatorId,
+    /// Parallel to `cert.header.parents`: the interned id of each parent,
+    /// or `None` while that parent is locally absent (not yet arrived, or
+    /// pruned). Keeping the positions aligned with the header preserves the
+    /// header's edge order in every traversal regardless of arrival order.
+    parents: Vec<Option<CertId>>,
+}
+
 /// The local DAG of certified blocks.
 #[derive(Default)]
 pub struct Dag {
-    rounds: BTreeMap<Round, BTreeMap<ValidatorId, Certificate>>,
-    /// Header digest → position, for parent lookups.
-    by_digest: HashMap<Digest, (Round, ValidatorId)>,
+    /// The arena. GC compacts it; ids are positions in this vector.
+    slab: Vec<Slot>,
+    /// Round → `(author, id)` sorted by author (lookup by binary search).
+    rounds: BTreeMap<Round, Vec<(ValidatorId, CertId)>>,
+    /// Header digest → id, for parent interning and external lookups.
+    by_digest: HashMap<Digest, CertId>,
+    /// Digest → `(child, parent position)` for every unresolved parent
+    /// reference; the digest's arrival patches them all.
+    waiting: HashMap<Digest, Vec<(CertId, u32)>>,
     /// Rounds strictly below this are pruned. 0 = nothing pruned.
     first_retained: Round,
 }
@@ -53,31 +104,69 @@ impl Dag {
         }
     }
 
-    /// Inserts a certified block.
+    /// Inserts a certified block, interning its parent references.
     pub fn insert(&mut self, cert: Certificate) -> InsertOutcome {
         let round = cert.round();
         if round < self.first_retained {
             return InsertOutcome::BelowGc;
         }
         let author = cert.origin();
-        let slot = self.rounds.entry(round).or_default();
-        if slot.contains_key(&author) {
-            return InsertOutcome::Duplicate;
+        let slots = self.rounds.entry(round).or_default();
+        let pos = match slots.binary_search_by_key(&author, |(a, _)| *a) {
+            Ok(_) => return InsertOutcome::Duplicate,
+            Err(pos) => pos,
+        };
+        let digest = cert.header_digest();
+        let id = CertId(self.slab.len() as u32);
+        slots.insert(pos, (author, id));
+        let parents: Vec<Option<CertId>> = cert
+            .header
+            .parents
+            .iter()
+            .enumerate()
+            .map(|(i, p)| match self.by_digest.get(p) {
+                Some(pid) => Some(*pid),
+                None => {
+                    self.waiting.entry(*p).or_default().push((id, i as u32));
+                    None
+                }
+            })
+            .collect();
+        self.by_digest.insert(digest, id);
+        self.slab.push(Slot {
+            cert,
+            digest,
+            round,
+            author,
+            parents,
+        });
+        // Patch children that referenced this digest before it arrived.
+        if let Some(children) = self.waiting.remove(&digest) {
+            for (child, parent_pos) in children {
+                self.slab[child.index()].parents[parent_pos as usize] = Some(id);
+            }
         }
-        self.by_digest.insert(cert.header_digest(), (round, author));
-        slot.insert(author, cert);
         InsertOutcome::Inserted
+    }
+
+    fn slot(&self, id: CertId) -> &Slot {
+        &self.slab[id.index()]
+    }
+
+    fn id_at(&self, round: Round, author: ValidatorId) -> Option<CertId> {
+        let slots = self.rounds.get(&round)?;
+        let pos = slots.binary_search_by_key(&author, |(a, _)| *a).ok()?;
+        Some(slots[pos].1)
     }
 
     /// The certificate of `author` at `round`, if any.
     pub fn get(&self, round: Round, author: ValidatorId) -> Option<&Certificate> {
-        self.rounds.get(&round)?.get(&author)
+        self.id_at(round, author).map(|id| &self.slot(id).cert)
     }
 
     /// Looks up a certified block by header digest.
     pub fn get_by_digest(&self, digest: &Digest) -> Option<&Certificate> {
-        let (round, author) = self.by_digest.get(digest)?;
-        self.get(*round, *author)
+        self.by_digest.get(digest).map(|id| &self.slot(*id).cert)
     }
 
     /// True if a certificate for this header digest is present.
@@ -87,15 +176,19 @@ impl Dag {
 
     /// Number of certificates in `round`.
     pub fn round_size(&self, round: Round) -> usize {
-        self.rounds.get(&round).map_or(0, BTreeMap::len)
+        self.rounds.get(&round).map_or(0, Vec::len)
     }
 
     /// Iterates the certificates of `round` in author order.
     pub fn round_certs(&self, round: Round) -> impl Iterator<Item = &Certificate> {
+        self.round_ids(round).map(|id| &self.slot(id).cert)
+    }
+
+    fn round_ids(&self, round: Round) -> impl Iterator<Item = CertId> + '_ {
         self.rounds
             .get(&round)
             .into_iter()
-            .flat_map(BTreeMap::values)
+            .flat_map(|slots| slots.iter().map(|(_, id)| *id))
     }
 
     /// Highest round containing any certificate.
@@ -110,12 +203,17 @@ impl Dag {
 
     /// Total certificates currently held (the §3.3 memory-bound metric).
     pub fn len(&self) -> usize {
-        self.rounds.values().map(BTreeMap::len).sum()
+        self.slab.len()
     }
 
     /// True if the DAG holds no certificates.
     pub fn is_empty(&self) -> bool {
-        self.rounds.is_empty()
+        self.slab.is_empty()
+    }
+
+    /// An id-based read view for consensus traversals.
+    pub fn view(&self) -> DagView<'_> {
+        DagView { dag: self }
     }
 
     /// Parents of `cert` that are required (above the GC boundary) but
@@ -136,36 +234,79 @@ impl Dag {
     /// Number of blocks in `round + 1` whose parents include `digest`
     /// (the "votes" of Tusk's commit rule, §5).
     pub fn support(&self, digest: &Digest, round: Round) -> usize {
-        self.round_certs(round + 1)
-            .filter(|c| c.header.parents.contains(digest))
-            .count()
+        match self.by_digest.get(digest) {
+            // Resolved: every live reference to this digest is interned
+            // (children are patched the moment the digest arrives), so the
+            // count is pure id comparisons.
+            Some(id) => self
+                .round_ids(round + 1)
+                .filter(|c| self.slot(*c).parents.contains(&Some(*id)))
+                .count(),
+            // Unresolved: no live reference is interned either; compare the
+            // raw header digests.
+            None => self
+                .round_certs(round + 1)
+                .filter(|c| c.header.parents.contains(digest))
+                .count(),
+        }
     }
 
     /// True if a path of parent edges leads from `from` down to `to`.
     ///
     /// `from` must be at a strictly higher round than `to`.
     pub fn path_exists(&self, from: &Certificate, to: &Certificate) -> bool {
-        let target = to.header_digest();
-        let target_round = to.round();
-        if from.round() <= target_round {
+        if from.round() <= to.round() {
             return false;
         }
-        let mut queue: VecDeque<Digest> = VecDeque::new();
-        let mut seen: HashSet<Digest> = HashSet::new();
-        queue.push_back(from.header_digest());
-        while let Some(digest) = queue.pop_front() {
-            if digest == target {
+        let Some(from_id) = self.by_digest.get(&from.header_digest()) else {
+            // Not in the DAG: no outgoing edges to walk.
+            return false;
+        };
+        let target = to.header_digest();
+        self.path_search(
+            *from_id,
+            self.by_digest.get(&target).copied(),
+            &target,
+            to.round(),
+        )
+    }
+
+    /// Index-walk BFS down parent edges from `from_id`, looking for the
+    /// target either as a resolved id or as an unresolved digest reference.
+    fn path_search(
+        &self,
+        from_id: CertId,
+        target_id: Option<CertId>,
+        target: &Digest,
+        target_round: Round,
+    ) -> bool {
+        let mut visited = vec![false; self.slab.len()];
+        let mut queue: VecDeque<CertId> = VecDeque::new();
+        visited[from_id.index()] = true;
+        queue.push_back(from_id);
+        while let Some(id) = queue.pop_front() {
+            if Some(id) == target_id {
                 return true;
             }
-            let Some(cert) = self.get_by_digest(&digest) else {
-                continue;
-            };
-            if cert.round() <= target_round {
+            let slot = self.slot(id);
+            if slot.round <= target_round {
                 continue;
             }
-            for parent in &cert.header.parents {
-                if seen.insert(*parent) {
-                    queue.push_back(*parent);
+            for (pos, parent) in slot.parents.iter().enumerate() {
+                match parent {
+                    Some(pid) => {
+                        if !visited[pid.index()] {
+                            visited[pid.index()] = true;
+                            queue.push_back(*pid);
+                        }
+                    }
+                    // An absent parent still *names* the target if the
+                    // digests match (the target need not be in this DAG).
+                    None => {
+                        if slot.cert.header.parents[pos] == *target {
+                            return true;
+                        }
+                    }
                 }
             }
         }
@@ -184,21 +325,24 @@ impl Dag {
         anchor: &Certificate,
         ordered: &HashSet<Digest>,
     ) -> Result<Vec<Certificate>, Vec<Digest>> {
-        let mut missing = Vec::new();
-        let mut out: Vec<Certificate> = Vec::new();
-        let mut seen: HashSet<Digest> = HashSet::new();
-        let mut queue: VecDeque<Digest> = VecDeque::new();
-        queue.push_back(anchor.header_digest());
-        seen.insert(anchor.header_digest());
-        while let Some(digest) = queue.pop_front() {
-            let Some(cert) = self.get_by_digest(&digest) else {
-                // Already-ordered ancestors may be pruned; anything else
-                // missing means the cone is locally incomplete.
-                if !ordered.contains(&digest) {
-                    missing.push(digest);
-                }
-                continue;
-            };
+        let anchor_digest = anchor.header_digest();
+        let Some(anchor_id) = self.by_digest.get(&anchor_digest) else {
+            // Already-ordered anchors may be pruned; anything else missing
+            // means the cone is locally incomplete.
+            if ordered.contains(&anchor_digest) {
+                return Ok(Vec::new());
+            }
+            return Err(vec![anchor_digest]);
+        };
+        let mut missing: Vec<Digest> = Vec::new();
+        let mut missing_seen: HashSet<Digest> = HashSet::new();
+        let mut collected: Vec<CertId> = Vec::new();
+        let mut visited = vec![false; self.slab.len()];
+        let mut queue: VecDeque<CertId> = VecDeque::new();
+        visited[anchor_id.index()] = true;
+        queue.push_back(*anchor_id);
+        while let Some(id) = queue.pop_front() {
+            let slot = self.slot(id);
             // The walk traverses *through* ordered blocks and only filters
             // them from the output, so the history is a pure function of
             // the anchor's (immutable) causal cone and the ordered set.
@@ -208,43 +352,279 @@ impl Dag {
             // crash-recovered validator replaying from a torn ordered set
             // would reproduce differently, forking its commit sequence
             // (found by `sim_fuzz`).
-            if !ordered.contains(&digest) {
-                out.push(cert.clone());
+            if !ordered.contains(&slot.digest) {
+                collected.push(id);
             }
-            if cert.round() <= self.first_retained {
+            if slot.round <= self.first_retained {
                 // Parents are pruned (or genesis has none): stop here.
                 continue;
             }
-            for parent in &cert.header.parents {
-                if seen.insert(*parent) {
-                    queue.push_back(*parent);
+            for (pos, parent) in slot.parents.iter().enumerate() {
+                match parent {
+                    Some(pid) => {
+                        if !visited[pid.index()] {
+                            visited[pid.index()] = true;
+                            queue.push_back(*pid);
+                        }
+                    }
+                    None => {
+                        let d = slot.cert.header.parents[pos];
+                        if !ordered.contains(&d) && missing_seen.insert(d) {
+                            missing.push(d);
+                        }
+                    }
                 }
             }
         }
         if !missing.is_empty() {
             return Err(missing);
         }
+        let mut out: Vec<Certificate> = collected
+            .into_iter()
+            .map(|id| self.slot(id).cert.clone())
+            .collect();
         out.sort_by_key(|c| (c.round(), c.origin()));
         Ok(out)
     }
 
     /// Prunes all rounds at or below `gc_round`, returning the pruned
     /// certificates (the primary inspects them for §3.3 re-injection).
+    ///
+    /// Pruning compacts the slab: surviving certificates are renumbered
+    /// densely (any previously issued [`CertId`] is invalidated), and
+    /// surviving children of pruned parents fall back to unresolved digest
+    /// references — which can never resolve again, since re-insertion below
+    /// the boundary is rejected.
     pub fn gc(&mut self, gc_round: Round) -> Vec<Certificate> {
         let new_first = gc_round + 1;
         if new_first <= self.first_retained {
             return Vec::new();
         }
         self.first_retained = new_first;
-        let mut pruned = Vec::new();
         let keep = self.rounds.split_off(&new_first);
-        for (_, certs) in std::mem::replace(&mut self.rounds, keep) {
-            for (_, cert) in certs {
-                self.by_digest.remove(&cert.header_digest());
-                pruned.push(cert);
+        let dead_rounds = std::mem::replace(&mut self.rounds, keep);
+        if dead_rounds.is_empty() {
+            return Vec::new();
+        }
+        // Dead ids in (round, author) order — the order the pruned
+        // certificates are returned in.
+        let mut alive = vec![true; self.slab.len()];
+        let mut dead_ids: Vec<CertId> = Vec::new();
+        for slots in dead_rounds.values() {
+            for (_, id) in slots {
+                alive[id.index()] = false;
+                dead_ids.push(*id);
             }
         }
-        pruned
+        // Dead slots leave the digest index and withdraw their unresolved
+        // parent registrations.
+        for id in &dead_ids {
+            let slot = &self.slab[id.index()];
+            self.by_digest.remove(&slot.digest);
+            for (pos, parent) in slot.parents.iter().enumerate() {
+                if parent.is_some() {
+                    continue;
+                }
+                let d = &slot.cert.header.parents[pos];
+                if let Some(list) = self.waiting.get_mut(d) {
+                    list.retain(|(child, _)| child != id);
+                    if list.is_empty() {
+                        self.waiting.remove(d);
+                    }
+                }
+            }
+        }
+        // Renumbering for the survivors: old index → new index.
+        let mut remap = vec![u32::MAX; self.slab.len()];
+        let mut next = 0u32;
+        for (i, live) in alive.iter().enumerate() {
+            if *live {
+                remap[i] = next;
+                next += 1;
+            }
+        }
+        // Survivors re-point resolved parents: pruned ones fall back to
+        // digest form (re-registered as waiting for uniformity, though a
+        // below-boundary digest can never arrive again).
+        for i in 0..self.slab.len() {
+            if !alive[i] {
+                continue;
+            }
+            let slot = &mut self.slab[i];
+            for (pos, parent) in slot.parents.iter_mut().enumerate() {
+                let Some(pid) = parent else { continue };
+                if alive[pid.index()] {
+                    *parent = Some(CertId(remap[pid.index()]));
+                } else {
+                    *parent = None;
+                    let d = slot.cert.header.parents[pos];
+                    self.waiting
+                        .entry(d)
+                        .or_default()
+                        .push((CertId(i as u32), pos as u32));
+                }
+            }
+        }
+        // Compact the slab (stable: survivors keep their relative order)
+        // and extract the pruned certificates.
+        let old_slab = std::mem::take(&mut self.slab);
+        self.slab.reserve(next as usize);
+        let mut dead_certs: Vec<Option<Certificate>> = Vec::new();
+        dead_certs.resize_with(old_slab.len(), || None);
+        for (i, slot) in old_slab.into_iter().enumerate() {
+            if alive[i] {
+                self.slab.push(slot);
+            } else {
+                dead_certs[i] = Some(slot.cert);
+            }
+        }
+        // Renumber every id still in circulation.
+        for slots in self.rounds.values_mut() {
+            for (_, id) in slots.iter_mut() {
+                *id = CertId(remap[id.index()]);
+            }
+        }
+        for id in self.by_digest.values_mut() {
+            *id = CertId(remap[id.index()]);
+        }
+        for list in self.waiting.values_mut() {
+            for (child, _) in list.iter_mut() {
+                *child = CertId(remap[child.index()]);
+            }
+        }
+        dead_ids
+            .into_iter()
+            .map(|id| dead_certs[id.index()].take().expect("pruned slot"))
+            .collect()
+    }
+
+    /// Internal consistency checks, for the equivalence test suites.
+    #[cfg(test)]
+    pub(crate) fn check_invariants(&self) {
+        assert_eq!(
+            self.slab.len(),
+            self.rounds.values().map(Vec::len).sum::<usize>(),
+            "every slot sits in exactly one round list"
+        );
+        assert_eq!(self.slab.len(), self.by_digest.len());
+        for (round, slots) in &self.rounds {
+            assert!(*round >= self.first_retained);
+            assert!(!slots.is_empty(), "no empty round lists survive");
+            for w in slots.windows(2) {
+                assert!(w[0].0 < w[1].0, "round lists sorted by author");
+            }
+            for (author, id) in slots {
+                let slot = self.slot(*id);
+                assert_eq!(slot.round, *round);
+                assert_eq!(slot.author, *author);
+                assert_eq!(slot.digest, slot.cert.header_digest());
+                assert_eq!(self.by_digest.get(&slot.digest), Some(id));
+            }
+        }
+        for (i, slot) in self.slab.iter().enumerate() {
+            assert_eq!(slot.parents.len(), slot.cert.header.parents.len());
+            for (pos, parent) in slot.parents.iter().enumerate() {
+                let d = &slot.cert.header.parents[pos];
+                match parent {
+                    Some(pid) => {
+                        assert_eq!(self.slot(*pid).digest, *d, "interned edge matches header");
+                    }
+                    None => {
+                        assert!(
+                            !self.by_digest.contains_key(d),
+                            "present digests are interned"
+                        );
+                        let entry = (CertId(i as u32), pos as u32);
+                        assert!(
+                            self.waiting.get(d).is_some_and(|l| l.contains(&entry)),
+                            "unresolved edges are registered"
+                        );
+                    }
+                }
+            }
+        }
+        for (d, list) in &self.waiting {
+            assert!(!list.is_empty());
+            for (child, pos) in list {
+                let slot = self.slot(*child);
+                assert_eq!(slot.cert.header.parents[*pos as usize], *d);
+                assert!(slot.parents[*pos as usize].is_none());
+            }
+        }
+    }
+}
+
+/// Read-only id-based view of a [`Dag`], for consensus traversals.
+///
+/// All methods operate on [`CertId`]s — dense indices whose comparisons and
+/// adjacency walks avoid digest hashing entirely. Ids are invalidated by
+/// [`Dag::gc`]; a view borrows the DAG, so ids obtained through it cannot
+/// outlive a mutation.
+#[derive(Clone, Copy)]
+pub struct DagView<'a> {
+    dag: &'a Dag,
+}
+
+impl<'a> DagView<'a> {
+    /// The id of `author`'s certificate at `round`, if present.
+    pub fn id_at(&self, round: Round, author: ValidatorId) -> Option<CertId> {
+        self.dag.id_at(round, author)
+    }
+
+    /// The id interned for `digest`, if present.
+    pub fn id_of(&self, digest: &Digest) -> Option<CertId> {
+        self.dag.by_digest.get(digest).copied()
+    }
+
+    /// The certificate behind `id`.
+    pub fn cert(&self, id: CertId) -> &'a Certificate {
+        &self.dag.slot(id).cert
+    }
+
+    /// The round of `id`'s certificate.
+    pub fn round_of(&self, id: CertId) -> Round {
+        self.dag.slot(id).round
+    }
+
+    /// The author of `id`'s certificate.
+    pub fn author_of(&self, id: CertId) -> ValidatorId {
+        self.dag.slot(id).author
+    }
+
+    /// The header digest of `id`'s certificate.
+    pub fn digest_of(&self, id: CertId) -> Digest {
+        self.dag.slot(id).digest
+    }
+
+    /// The ids of `round`'s certificates, in author order.
+    pub fn round_ids(&self, round: Round) -> impl Iterator<Item = CertId> + 'a {
+        self.dag.round_ids(round)
+    }
+
+    /// Highest round containing any certificate.
+    pub fn highest_round(&self) -> Round {
+        self.dag.highest_round()
+    }
+
+    /// Number of next-round blocks whose parents include `id` (the votes
+    /// of the commit rules).
+    pub fn support(&self, id: CertId) -> usize {
+        let round = self.dag.slot(id).round;
+        self.dag
+            .round_ids(round + 1)
+            .filter(|c| self.dag.slot(*c).parents.contains(&Some(id)))
+            .count()
+    }
+
+    /// True if a path of parent edges leads from `from` down to `to`
+    /// (`from` strictly above `to`).
+    pub fn path_exists(&self, from: CertId, to: CertId) -> bool {
+        let to_slot = self.dag.slot(to);
+        if self.dag.slot(from).round <= to_slot.round {
+            return false;
+        }
+        self.dag
+            .path_search(from, Some(to), &to_slot.digest, to_slot.round)
     }
 }
 
@@ -282,6 +662,7 @@ mod tests {
                 assert_eq!(dag.insert(cert), InsertOutcome::Inserted);
             }
         }
+        dag.check_invariants();
         (committee, kps, dag)
     }
 
@@ -301,6 +682,7 @@ mod tests {
         let (_, _, mut dag) = full_dag(4, 1);
         let cert = dag.get(1, ValidatorId(0)).unwrap().clone();
         assert_eq!(dag.insert(cert), InsertOutcome::Duplicate);
+        dag.check_invariants();
     }
 
     #[test]
@@ -312,6 +694,10 @@ mod tests {
         // Nothing at the top round references anyone yet.
         let top = dag.get(2, ValidatorId(0)).unwrap();
         assert_eq!(dag.support(&top.header_digest(), 2), 0);
+        // The id-based view agrees.
+        let view = dag.view();
+        let leader_id = view.id_at(1, ValidatorId(2)).unwrap();
+        assert_eq!(view.support(leader_id), 4);
     }
 
     #[test]
@@ -321,6 +707,11 @@ mod tests {
         let low = dag.get(1, ValidatorId(3)).unwrap();
         assert!(dag.path_exists(high, low));
         assert!(!dag.path_exists(low, high), "paths only go down");
+        let view = dag.view();
+        let high_id = view.id_at(4, ValidatorId(0)).unwrap();
+        let low_id = view.id_at(1, ValidatorId(3)).unwrap();
+        assert!(view.path_exists(high_id, low_id));
+        assert!(!view.path_exists(low_id, high_id));
     }
 
     #[test]
@@ -378,6 +769,7 @@ mod tests {
             }
         }
         partial.insert(anchor.clone());
+        partial.check_invariants();
         let missing = partial
             .collect_history(&anchor, &HashSet::new())
             .expect_err("one parent missing");
@@ -399,10 +791,15 @@ mod tests {
     fn gc_prunes_and_rejects_old() {
         let (_, _, mut dag) = full_dag(4, 5);
         let pruned = dag.gc(2);
+        dag.check_invariants();
         assert_eq!(pruned.len(), 4 * 3, "rounds 0-2 pruned");
         assert_eq!(dag.round_size(2), 0);
         assert_eq!(dag.round_size(3), 4);
         assert_eq!(dag.first_retained_round(), 3);
+        // The pruned certificates come back in (round, author) order.
+        for w in pruned.windows(2) {
+            assert!((w[0].round(), w[0].origin()) < (w[1].round(), w[1].origin()));
+        }
         // Late certificates below the boundary are ignored.
         let old = pruned
             .iter()
@@ -412,6 +809,85 @@ mod tests {
         assert_eq!(dag.insert(old), InsertOutcome::BelowGc);
         // GC never regresses.
         assert!(dag.gc(1).is_empty());
+    }
+
+    #[test]
+    fn gc_compaction_keeps_queries_consistent() {
+        // After compaction the slab is renumbered; every query path must
+        // still agree with the surviving certificates.
+        let (_, _, mut dag) = full_dag(4, 6);
+        dag.gc(3);
+        dag.check_invariants();
+        assert_eq!(dag.len(), 4 * 3, "rounds 4-6 survive, densely stored");
+        for r in 4..=6u64 {
+            for a in 0..4u32 {
+                let cert = dag.get(r, ValidatorId(a)).expect("survivor");
+                assert_eq!(cert.round(), r);
+                assert_eq!(cert.origin(), ValidatorId(a));
+                assert!(dag.contains_digest(&cert.header_digest()));
+            }
+        }
+        // Support and paths still work across the surviving rounds.
+        let leader = dag.get(5, ValidatorId(1)).unwrap().clone();
+        assert_eq!(dag.support(&leader.header_digest(), 5), 4);
+        let high = dag.get(6, ValidatorId(2)).unwrap().clone();
+        assert!(dag.path_exists(&high, &leader));
+        // Round 4's parents are pruned: their digests are unresolved again.
+        let low = dag.get(4, ValidatorId(0)).unwrap();
+        assert!(
+            dag.missing_parents(low).is_empty(),
+            "at-boundary certificates require no parents"
+        );
+    }
+
+    #[test]
+    fn late_parent_patches_waiting_children() {
+        // Insert a child before its parent: the edge is unresolved, support
+        // and paths still see it via the digest fallback; once the parent
+        // arrives, the edge is interned and id walks traverse it.
+        let (committee, kps, dag) = full_dag(4, 2);
+        let parents: Vec<Digest> = dag.round_certs(2).map(|c| c.header_digest()).collect();
+        let header = Header::new(&kps[0], ValidatorId(0), 3, vec![], parents, None);
+        let votes: Vec<Vote> = kps
+            .iter()
+            .enumerate()
+            .map(|(j, vkp)| {
+                Vote::new(
+                    vkp,
+                    ValidatorId(j as u32),
+                    header.digest(),
+                    3,
+                    header.author,
+                )
+            })
+            .collect();
+        let child = Certificate::from_votes(&committee, header, &votes).unwrap();
+
+        let mut partial = Dag::new();
+        partial.insert_genesis(Certificate::genesis_set(&committee));
+        let withheld = dag.get(2, ValidatorId(3)).unwrap().clone();
+        for r in 1..=2 {
+            for c in dag.round_certs(r) {
+                if r == 2 && c.origin() == ValidatorId(3) {
+                    continue;
+                }
+                partial.insert(c.clone());
+            }
+        }
+        partial.insert(child.clone());
+        partial.check_invariants();
+        // The unresolved edge still counts as support and as a path.
+        assert_eq!(partial.support(&withheld.header_digest(), 2), 1);
+        assert!(partial.path_exists(&child, &withheld));
+        // Late arrival interns the edge.
+        assert_eq!(partial.insert(withheld.clone()), InsertOutcome::Inserted);
+        partial.check_invariants();
+        assert_eq!(partial.support(&withheld.header_digest(), 2), 1);
+        assert!(partial.path_exists(&child, &withheld));
+        let history = partial
+            .collect_history(&child, &HashSet::new())
+            .expect("complete once the parent arrived");
+        assert_eq!(history.len(), 4 * 3 + 1);
     }
 
     #[test]
@@ -435,6 +911,7 @@ mod tests {
         for r in 10u64..=30 {
             dag.gc(r - 10);
         }
+        dag.check_invariants();
         // With a sliding GC window of depth 10, only rounds 21..=30 remain.
         assert_eq!(dag.len(), 4 * 10);
         assert_eq!(dag.round_size(20), 0);

@@ -40,7 +40,7 @@ pub mod worker;
 
 pub use config::{NarwhalConfig, SelfTestBugs, SyntheticLoad};
 pub use consensus::{ConsensusOut, DagConsensus, NoConsensus, NoExt};
-pub use dag::{Dag, InsertOutcome};
+pub use dag::{CertId, Dag, DagView, InsertOutcome};
 pub use deployment::AddressBook;
 pub use messages::{BatchInfo, NarwhalMsg};
 pub use node::{CommitStream, Node, NodeBuilder, NodeRole};

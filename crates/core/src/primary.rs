@@ -802,17 +802,67 @@ impl<C: DagConsensus> Primary<C> {
         // wave leader so it commits in two rounds) — but never beyond
         // max_header_delay: empty or leaderless blocks keep the DAG and
         // consensus advancing.
+        let now = ctx.now();
         let deadline = self.round_entered + self.config.max_header_delay;
-        if ctx.now() < deadline {
-            let awaiting_parent = self
+        // The leader timeout is the longer of the two bounds: a wished
+        // parent is the one certificate whose absence costs a whole wave
+        // (the leader misses its direct quorum), so it is worth waiting a
+        // WAN round-trip for, where payload is only worth the header delay.
+        let wish_deadline = self.round_entered
+            + self
+                .config
+                .max_leader_delay
+                .max(self.config.max_header_delay);
+        let awaiting_parent = now < wish_deadline
+            && self
                 .consensus
                 .parent_wishes(&self.dag, self.round)
                 .into_iter()
                 .any(|(round, author)| self.dag.get(round, author).is_none());
-            if self.pending_digests.is_empty() || awaiting_parent {
-                ctx.timer(deadline - ctx.now(), TAG_PROPOSE);
-                return;
-            }
+        // Coverage: parents the consensus protocol wants referenced for
+        // commit-latency reasons but that are only worth the payload
+        // deadline, not the leader timeout — Bullshark wishes for its own
+        // previous certificate (chain continuity: a block proposed without
+        // it strands the whole chain below until GC re-injection, a
+        // gc_depth-round latency cliff observed as ~16 s p99 on 10/20-node
+        // committees) and, when about to propose its own anchor, for full
+        // previous-round coverage so the anchor's history sweeps the
+        // slowest regions' chains on every wave.
+        // Two bounds within the coverage wishes: a wish for the author's
+        // *own* previous certificate is chain continuity — a break
+        // strands the whole chain below until GC re-injection, so it is
+        // worth the full header deadline. Wishes for *other* validators'
+        // certificates are opportunistic coverage and must stay well
+        // inside the quorum slack (the gap between this block's
+        // certificate forming and the 2f + 1st certificate the round
+        // advance actually waits for), or the wait itself would stretch
+        // the cadence it is trying not to touch; on the fig-7 WAN
+        // topology the stragglers trail round entry by a few tens of
+        // milliseconds, so three eighths of the header deadline catches
+        // them with slack to spare.
+        let coverage_deadline = self.round_entered + self.config.max_header_delay * 3 / 8;
+        let wishes = self
+            .consensus
+            .coverage_wishes(&self.dag, self.round, self.me);
+        let awaiting_own = now < deadline
+            && wishes
+                .iter()
+                .any(|&(round, author)| author == self.me && self.dag.get(round, author).is_none());
+        let awaiting_coverage = now < coverage_deadline
+            && wishes
+                .iter()
+                .any(|&(round, author)| author != self.me && self.dag.get(round, author).is_none());
+        let awaiting_payload = now < deadline && self.pending_digests.is_empty();
+        if awaiting_parent || awaiting_own || awaiting_coverage || awaiting_payload {
+            let until = if awaiting_parent {
+                wish_deadline
+            } else if awaiting_coverage && !awaiting_own && !awaiting_payload {
+                coverage_deadline
+            } else {
+                deadline
+            };
+            ctx.timer(until - now, TAG_PROPOSE);
+            return;
         }
         let parents: Vec<Digest> = self
             .dag
@@ -1647,12 +1697,13 @@ impl<C: DagConsensus> Primary<C> {
         if base.checkpoint_seq < manifest.sequence {
             return; // malformed base: the capture moment precedes the point
         }
-        for cert in &base.frontier {
-            if cert.verify(&self.committee).is_err() {
-                // A fabricated frontier: drop the transfer. Still-arriving
-                // far-future certificates re-trigger against another server.
-                return;
-            }
+        // One multiscalar equation covers every frontier certificate's
+        // vote set (Certificate::verify_all), instead of per-certificate
+        // per-signature scalar multiplications.
+        if Certificate::verify_all(&self.committee, &base.frontier).is_err() {
+            // A fabricated frontier: drop the transfer. Still-arriving
+            // far-future certificates re-trigger against another server.
+            return;
         }
         // Replace the DAG with the served window.
         let mut dag = Dag::new();
@@ -1864,11 +1915,21 @@ impl<C: DagConsensus> Actor for Primary<C> {
                 }
             }
             NarwhalMsg::CertResponse { certs } => {
-                for cert in certs {
-                    if cert.round() >= self.dag.first_retained_round()
-                        && !self.dag.contains_digest(&cert.header_digest())
-                        && cert.verify(&self.committee).is_ok()
-                    {
+                // Verify the whole wanted set in one multiscalar pass; a
+                // response with a bad certificate degrades to per-certificate
+                // checks so the valid ones still land. Re-checking GC and
+                // duplicates inside `process_certificate` makes the one-shot
+                // filter safe even as earlier certificates insert.
+                let wanted: Vec<Certificate> = certs
+                    .into_iter()
+                    .filter(|c| {
+                        c.round() >= self.dag.first_retained_round()
+                            && !self.dag.contains_digest(&c.header_digest())
+                    })
+                    .collect();
+                let all_valid = Certificate::verify_all(&self.committee, &wanted).is_ok();
+                for cert in wanted {
+                    if all_valid || cert.verify(&self.committee).is_ok() {
                         self.process_certificate(cert, ctx);
                     }
                 }

@@ -1,0 +1,286 @@
+//! Equivalence of the interned-index DAG arena against a naive map oracle.
+//!
+//! The arena (`narwhal::Dag`) replaces the original digest-keyed map
+//! representation with a slab of dense `CertId`s, parent references
+//! interned at insertion, and GC by slab compaction. None of that is
+//! allowed to be observable: insert outcomes, lookups, GC eviction order,
+//! and commit-history order must be exactly what the obvious
+//! `BTreeMap<(round, author)> + HashMap<digest>` implementation produces.
+//! The oracle below *is* that implementation, and the properties drive
+//! both through randomized build/GC/query schedules.
+
+use narwhal::{Dag, InsertOutcome};
+use nt_crypto::{Digest, Hashable, Scheme};
+use nt_types::{Certificate, Committee, Header, Round, ValidatorId, Vote};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+/// The pre-arena DAG semantics, written the obvious way.
+#[derive(Default)]
+struct MapDag {
+    by_slot: BTreeMap<(Round, ValidatorId), Certificate>,
+    by_digest: HashMap<Digest, Certificate>,
+    first_retained: Round,
+}
+
+impl MapDag {
+    fn insert(&mut self, cert: Certificate) -> InsertOutcome {
+        if cert.round() < self.first_retained {
+            return InsertOutcome::BelowGc;
+        }
+        let key = (cert.round(), cert.origin());
+        if self.by_slot.contains_key(&key) {
+            return InsertOutcome::Duplicate;
+        }
+        self.by_digest.insert(cert.header_digest(), cert.clone());
+        self.by_slot.insert(key, cert);
+        InsertOutcome::Inserted
+    }
+
+    fn get(&self, round: Round, author: ValidatorId) -> Option<&Certificate> {
+        self.by_slot.get(&(round, author))
+    }
+
+    fn round_certs(&self, round: Round) -> Vec<&Certificate> {
+        self.by_slot
+            .range((round, ValidatorId(0))..=(round, ValidatorId(u32::MAX)))
+            .map(|(_, c)| c)
+            .collect()
+    }
+
+    fn highest_round(&self) -> Round {
+        self.by_slot.keys().next_back().map_or(0, |(r, _)| *r)
+    }
+
+    fn gc(&mut self, gc_round: Round) -> Vec<Certificate> {
+        if gc_round < self.first_retained {
+            return Vec::new();
+        }
+        self.first_retained = gc_round + 1;
+        let keep = self
+            .by_slot
+            .split_off(&(self.first_retained, ValidatorId(0)));
+        let dead = std::mem::replace(&mut self.by_slot, keep);
+        dead.into_values()
+            .inspect(|c| {
+                self.by_digest.remove(&c.header_digest());
+            })
+            .collect()
+    }
+
+    fn collect_history(
+        &self,
+        anchor: &Certificate,
+        ordered: &HashSet<Digest>,
+    ) -> Result<Vec<Certificate>, Vec<Digest>> {
+        let anchor_digest = anchor.header_digest();
+        if !self.by_digest.contains_key(&anchor_digest) {
+            if ordered.contains(&anchor_digest) {
+                return Ok(Vec::new());
+            }
+            return Err(vec![anchor_digest]);
+        }
+        let mut missing = Vec::new();
+        let mut missing_seen = HashSet::new();
+        let mut collected: Vec<&Certificate> = Vec::new();
+        let mut visited = HashSet::new();
+        let mut queue = VecDeque::new();
+        visited.insert(anchor_digest);
+        queue.push_back(anchor_digest);
+        while let Some(digest) = queue.pop_front() {
+            let cert = &self.by_digest[&digest];
+            if !ordered.contains(&digest) {
+                collected.push(cert);
+            }
+            if cert.round() <= self.first_retained {
+                continue;
+            }
+            for parent in &cert.header.parents {
+                if self.by_digest.contains_key(parent) {
+                    if visited.insert(*parent) {
+                        queue.push_back(*parent);
+                    }
+                } else if !ordered.contains(parent) && missing_seen.insert(*parent) {
+                    missing.push(*parent);
+                }
+            }
+        }
+        if !missing.is_empty() {
+            return Err(missing);
+        }
+        let mut out: Vec<Certificate> = collected.into_iter().cloned().collect();
+        out.sort_by_key(|c| (c.round(), c.origin()));
+        Ok(out)
+    }
+}
+
+/// Builds a randomized DAG (every block references a random 2f+1-subset of
+/// the previous round) and returns all certificates, genesis first.
+fn random_dag(n: usize, rounds: Round, edge_choices: &[u8]) -> Vec<Certificate> {
+    let (committee, kps) = Committee::deterministic(n, 1, Scheme::Insecure);
+    let quorum = committee.quorum_threshold();
+    let mut all: Vec<Certificate> = Certificate::genesis_set(&committee);
+    let mut prev: Vec<Digest> = all.iter().map(Certificate::header_digest).collect();
+    let mut choice_idx = 0usize;
+    for r in 1..=rounds {
+        let mut next = Vec::new();
+        for (i, kp) in kps.iter().enumerate() {
+            let mut parents: Vec<Digest> = prev.clone();
+            while parents.len() > quorum {
+                let pick =
+                    edge_choices.get(choice_idx).copied().unwrap_or(0) as usize % parents.len();
+                choice_idx += 1;
+                parents.remove(pick);
+            }
+            let header = Header::new(kp, ValidatorId(i as u32), r, vec![], parents, None);
+            let votes: Vec<Vote> = kps
+                .iter()
+                .enumerate()
+                .map(|(j, vkp)| {
+                    Vote::new(
+                        vkp,
+                        ValidatorId(j as u32),
+                        header.digest(),
+                        r,
+                        header.author,
+                    )
+                })
+                .collect();
+            let cert = Certificate::from_votes(&committee, header, &votes).expect("quorum");
+            next.push(cert.header_digest());
+            all.push(cert);
+        }
+        prev = next;
+    }
+    all
+}
+
+/// Deterministic pseudo-shuffle driven by `seed` (keeps runs replayable).
+fn shuffle(certs: &mut [Certificate], seed: u64) {
+    let mut state = seed | 1;
+    for i in (1..certs.len()).rev() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let j = (state >> 33) as usize % (i + 1);
+        certs.swap(i, j);
+    }
+}
+
+/// Asserts every externally observable query agrees between the two.
+fn assert_same_view(dag: &Dag, oracle: &MapDag, n: u32, rounds: Round) {
+    assert_eq!(dag.len(), oracle.by_slot.len());
+    assert_eq!(dag.highest_round(), oracle.highest_round());
+    assert_eq!(dag.first_retained_round(), oracle.first_retained);
+    for r in 0..=rounds {
+        let arena_round: Vec<&Certificate> = dag.round_certs(r).collect();
+        assert_eq!(arena_round, oracle.round_certs(r), "round {r} certs");
+        assert_eq!(dag.round_size(r), oracle.round_certs(r).len());
+        for a in 0..n {
+            assert_eq!(
+                dag.get(r, ValidatorId(a)),
+                oracle.get(r, ValidatorId(a)),
+                "get({r}, {a})"
+            );
+        }
+    }
+    for cert in oracle.by_digest.values() {
+        let digest = cert.header_digest();
+        assert_eq!(dag.get_by_digest(&digest), Some(cert));
+        assert!(dag.contains_digest(&digest));
+    }
+}
+
+const ROUNDS: Round = 8;
+const N: usize = 4;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Insert (with duplicates, arbitrary order, and post-GC stragglers),
+    /// GC eviction order, and every lookup agree with the oracle.
+    #[test]
+    fn arena_matches_oracle_under_insert_and_gc(
+        edges in proptest::collection::vec(any::<u8>(), 512),
+        shuffle_seed in any::<u64>(),
+        gc_round in 0u64..ROUNDS,
+        split in 0usize..36,
+    ) {
+        let mut certs = random_dag(N, ROUNDS, &edges);
+        shuffle(&mut certs, shuffle_seed);
+        let mut dag = Dag::new();
+        let mut oracle = MapDag::default();
+
+        // Phase 1: a prefix of the shuffled stream, duplicates included.
+        let split = split.min(certs.len());
+        for cert in &certs[..split] {
+            prop_assert_eq!(dag.insert(cert.clone()), oracle.insert(cert.clone()));
+        }
+        for cert in certs[..split].iter().rev().take(4) {
+            prop_assert_eq!(dag.insert(cert.clone()), oracle.insert(cert.clone()));
+        }
+        assert_same_view(&dag, &oracle, N as u32, ROUNDS);
+
+        // GC: eviction sequence and post-GC state agree.
+        prop_assert_eq!(dag.gc(gc_round), oracle.gc(gc_round));
+        assert_same_view(&dag, &oracle, N as u32, ROUNDS);
+
+        // Phase 2: the rest of the stream lands after GC — below-boundary
+        // certificates must be rejected identically.
+        for cert in &certs[split..] {
+            prop_assert_eq!(dag.insert(cert.clone()), oracle.insert(cert.clone()));
+        }
+        assert_same_view(&dag, &oracle, N as u32, ROUNDS);
+    }
+
+    /// Commit-history order (and missing-ancestor reporting on incomplete
+    /// DAGs) agree with the oracle, for every anchor, before and after GC.
+    #[test]
+    fn history_matches_oracle(
+        edges in proptest::collection::vec(any::<u8>(), 512),
+        drop_mask in proptest::collection::vec(any::<bool>(), 36),
+        gc_round in 0u64..ROUNDS,
+        ordered_anchor in 0u32..N as u32,
+    ) {
+        let certs = random_dag(N, ROUNDS, &edges);
+        let mut dag = Dag::new();
+        let mut oracle = MapDag::default();
+        // Drop a few mid-DAG certificates to exercise the Err(missing) path
+        // (never the top round, so anchors themselves stay present).
+        for (i, cert) in certs.iter().enumerate() {
+            if cert.round() < ROUNDS && drop_mask.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            dag.insert(cert.clone());
+            oracle.insert(cert.clone());
+        }
+
+        // An already-ordered prefix, as consensus would pass it: the history
+        // of some earlier anchor (when complete), plus the genesis digests.
+        let mut ordered: HashSet<Digest> = HashSet::new();
+        if let Some(prev) = oracle.get(ROUNDS - 2, ValidatorId(ordered_anchor)) {
+            if let Ok(hist) = oracle.collect_history(&prev.clone(), &HashSet::new()) {
+                ordered = hist.iter().map(Certificate::header_digest).collect();
+            }
+        }
+
+        for phase in 0..2 {
+            if phase == 1 {
+                dag.gc(gc_round);
+                oracle.gc(gc_round);
+            }
+            for a in 0..N as u32 {
+                let Some(anchor) = oracle.get(ROUNDS, ValidatorId(a)).cloned() else {
+                    continue;
+                };
+                for ord in [&HashSet::new(), &ordered] {
+                    prop_assert_eq!(
+                        dag.collect_history(&anchor, ord),
+                        oracle.collect_history(&anchor, ord),
+                        "anchor {} phase {}",
+                        a,
+                        phase
+                    );
+                }
+            }
+        }
+    }
+}

@@ -13,10 +13,15 @@
 //!   swap the real scheme for a fast hash-based one (`Scheme::Insecure`)
 //!   while accounting for the real scheme's CPU cost, which is how the
 //!   discrete-event benchmarks reach paper-scale throughput.
+//! - [`batch`]: amortized ed25519 verification — a certificate's `2f + 1`
+//!   signature set is checked as one multiscalar equation whose doubling
+//!   chain is shared across every term, with a sequential fallback that
+//!   identifies the offending signer.
 //! - [`coin`]: the threshold random coin Tusk uses to elect wave leaders
 //!   (§5 of the paper). See `DESIGN.md` for the substitution of the paper's
 //!   BLS threshold signature by a hash-based share scheme.
 
+pub mod batch;
 pub mod codec_impls;
 pub mod coin;
 pub mod digest;
@@ -24,6 +29,7 @@ pub mod ed25519;
 pub mod keys;
 pub mod sha2;
 
+pub use batch::{verify_batch, verify_each, BatchItem};
 pub use coin::{combine_shares, CoinShare};
 pub use digest::{Digest, Hashable, DIGEST_LEN};
 pub use keys::{KeyPair, PublicKey, Scheme, SecretKey, Signature};

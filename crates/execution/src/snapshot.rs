@@ -213,10 +213,31 @@ impl SnapshotPackage {
     }
 
     /// Number of distinct valid signatures over the manifest.
+    ///
+    /// All signatures cover the one manifest digest, so the set is checked
+    /// as a single batched multiscalar equation; if that fails (some
+    /// signature is bad), the sequential pass counts the survivors.
     pub fn valid_signatures(&self, committee: &Committee) -> usize {
-        self.signatures
+        let digest = self.manifest.digest();
+        let candidates: Vec<&SnapshotSig> = self
+            .signatures
             .iter()
-            .filter(|s| s.verify(committee, &self.manifest))
+            .filter(|s| (s.signer.0 as usize) < committee.size())
+            .collect();
+        let items: Vec<nt_crypto::BatchItem<'_>> = candidates
+            .iter()
+            .map(|s| nt_crypto::BatchItem {
+                public: committee.public_key(s.signer),
+                message: digest.as_bytes(),
+                signature: s.signature,
+            })
+            .collect();
+        if nt_crypto::verify_batch(committee.scheme(), &items).is_ok() {
+            return candidates.len();
+        }
+        candidates
+            .iter()
+            .filter(|s| s.verify_digest(committee, &digest))
             .count()
     }
 

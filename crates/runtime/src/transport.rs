@@ -19,7 +19,7 @@
 //! pairs. Decoding (and dropping undecodable payloads) is the driver's job.
 
 use crate::backoff::Backoff;
-use nt_codec::{decode_from_slice, encode_to_vec, Envelope, MAX_FRAME_LEN, PROTOCOL_VERSION};
+use nt_codec::{encode_to_vec, Envelope, EnvelopeRef, MAX_FRAME_LEN, PROTOCOL_VERSION};
 use nt_network::{NodeId, CLIENT};
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
@@ -201,6 +201,11 @@ fn reader_loop(stream: TcpStream, inbox: SyncSender<(NodeId, Vec<u8>)>, stop: Ar
         return;
     }
     let mut buf: Vec<u8> = Vec::new();
+    // Read cursor into `buf`: bytes before `start` belong to frames already
+    // delivered. Advancing a cursor instead of draining per frame means each
+    // frame body is parsed in place ([`EnvelopeRef`]) and only the payload is
+    // copied out — consumed prefixes are reclaimed in bulk below.
+    let mut start: usize = 0;
     let mut chunk = [0u8; 64 * 1024];
     while !stop.load(Ordering::SeqCst) {
         match stream.read(&mut chunk) {
@@ -209,18 +214,18 @@ fn reader_loop(stream: TcpStream, inbox: SyncSender<(NodeId, Vec<u8>)>, stop: Ar
                 buf.extend_from_slice(&chunk[..n]);
                 // Drain every complete frame currently buffered.
                 loop {
-                    if buf.len() < 4 {
+                    let avail = &buf[start..];
+                    if avail.len() < 4 {
                         break;
                     }
-                    let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+                    let len = u32::from_le_bytes(avail[..4].try_into().expect("4 bytes")) as usize;
                     if len > MAX_FRAME_LEN as usize {
                         return; // protocol violation: drop the connection
                     }
-                    if buf.len() < 4 + len {
+                    if avail.len() < 4 + len {
                         break;
                     }
-                    let body: Vec<u8> = buf.drain(..4 + len).skip(4).collect();
-                    let Ok(envelope) = decode_from_slice::<Envelope>(&body) else {
+                    let Ok(envelope) = EnvelopeRef::parse(&avail[4..4 + len]) else {
                         return; // malformed frame: drop the connection
                     };
                     if envelope.version != PROTOCOL_VERSION {
@@ -231,9 +236,19 @@ fn reader_loop(stream: TcpStream, inbox: SyncSender<(NodeId, Vec<u8>)>, stop: Ar
                     } else {
                         envelope.sender as NodeId
                     };
-                    if inbox.send((from, envelope.payload)).is_err() {
+                    if inbox.send((from, envelope.payload.to_vec())).is_err() {
                         return; // transport shut down
                     }
+                    start += 4 + len;
+                }
+                // Reclaim the consumed prefix: free the whole buffer when it
+                // is fully drained, or shift once the dead prefix dominates.
+                if start == buf.len() {
+                    buf.clear();
+                    start = 0;
+                } else if start > 0 && start >= buf.len() / 2 {
+                    buf.drain(..start);
+                    start = 0;
                 }
             }
             Err(e)

@@ -13,7 +13,7 @@
 //! - weak links (DAG-Rider's block-level fairness device) are omitted, as
 //!   Tusk forbids them to enable garbage collection.
 
-use narwhal::{ConsensusOut, Dag, DagConsensus, NoExt};
+use narwhal::{CertId, ConsensusOut, Dag, DagConsensus, DagView, NoExt};
 use nt_codec::{decode_from_slice, encode_to_vec};
 use nt_crypto::{combine_shares, CoinShare};
 use nt_types::{Certificate, Committee, Round, ValidatorId};
@@ -51,11 +51,11 @@ impl DagRider {
         4 * w
     }
 
-    fn elect(&self, dag: &Dag, wave: u64) -> Option<ValidatorId> {
+    fn elect(&self, view: DagView<'_>, wave: u64) -> Option<ValidatorId> {
         let reveal = Self::last_round(wave);
-        let shares: Vec<CoinShare> = dag
-            .round_certs(reveal)
-            .filter_map(|c| c.header.coin_share)
+        let shares: Vec<CoinShare> = view
+            .round_ids(reveal)
+            .filter_map(|id| view.cert(id).header.coin_share)
             .collect();
         let coin = combine_shares(
             self.domain,
@@ -66,31 +66,32 @@ impl DagRider {
         Some(ValidatorId((coin % self.committee.size() as u64) as u32))
     }
 
-    fn leader_cert(&self, dag: &Dag, wave: u64) -> Option<Certificate> {
-        let leader_id = self.elect(dag, wave)?;
-        dag.get(Self::first_round(wave), leader_id).cloned()
+    fn leader_id_of(&self, view: DagView<'_>, wave: u64) -> Option<CertId> {
+        let leader = self.elect(view, wave)?;
+        view.id_at(Self::first_round(wave), leader)
     }
 
     /// Re-evaluates all undecided waves (never frozen; see `Tusk`).
     fn try_decide(&mut self, dag: &Dag) -> Vec<Certificate> {
+        let view = dag.view();
         let mut anchors = Vec::new();
         let mut wave = self.last_committed_wave + 1;
-        while let Some(leader_id) = self.elect(dag, wave) {
+        while let Some(leader_id) = self.elect(view, wave) {
             let r1 = Self::first_round(wave);
-            if let Some(leader) = dag.get(r1, leader_id).cloned() {
+            if let Some(leader) = view.id_at(r1, leader_id) {
                 // Commit rule: 2f + 1 blocks in the wave's last round with
                 // a strong path to the leader.
-                let votes = dag
-                    .round_certs(Self::last_round(wave))
-                    .filter(|c| dag.path_exists(c, &leader))
+                let votes = view
+                    .round_ids(Self::last_round(wave))
+                    .filter(|c| view.path_exists(*c, leader))
                     .count();
                 if votes >= self.committee.quorum_threshold() {
-                    let mut chain = vec![leader.clone()];
+                    let mut chain = vec![leader];
                     let mut candidate = leader;
                     for w in (self.last_committed_wave + 1..wave).rev() {
-                        if let Some(past) = self.leader_cert(dag, w) {
-                            if dag.path_exists(&candidate, &past) {
-                                chain.push(past.clone());
+                        if let Some(past) = self.leader_id_of(view, w) {
+                            if view.path_exists(candidate, past) {
+                                chain.push(past);
                                 candidate = past;
                             }
                         }
@@ -98,7 +99,7 @@ impl DagRider {
                     self.direct_commits += 1;
                     self.indirect_commits += (chain.len() - 1) as u64;
                     chain.reverse();
-                    anchors.extend(chain);
+                    anchors.extend(chain.into_iter().map(|id| view.cert(id).clone()));
                     self.last_committed_wave = wave;
                 }
             }

@@ -17,7 +17,7 @@
 //! a DAG path (Lemma 1 guarantees such paths exist for leaders any honest
 //! validator committed directly).
 
-use narwhal::{ConsensusOut, Dag, DagConsensus, NoExt};
+use narwhal::{CertId, ConsensusOut, Dag, DagConsensus, DagView, NoExt};
 use nt_codec::{decode_from_slice, encode_to_vec};
 use nt_crypto::{combine_shares, CoinShare};
 use nt_types::{Certificate, Committee, Round, ValidatorId};
@@ -84,16 +84,22 @@ impl Tusk {
     /// The leader elected for `wave`, if its coin is revealed and the
     /// leader's block is in the local DAG.
     pub fn leader_of(&self, dag: &Dag, wave: u64) -> Option<Certificate> {
-        let leader_id = self.elect(dag, wave)?;
-        dag.get(Self::proposal_round(wave), leader_id).cloned()
+        self.leader_id_of(dag.view(), wave)
+            .map(|id| dag.view().cert(id).clone())
+    }
+
+    /// The interned id of `wave`'s elected leader block, if present.
+    fn leader_id_of(&self, view: DagView<'_>, wave: u64) -> Option<CertId> {
+        let leader = self.elect(view, wave)?;
+        view.id_at(Self::proposal_round(wave), leader)
     }
 
     /// Reconstructs the coin for `wave` from shares in round-`r3` blocks.
-    fn elect(&self, dag: &Dag, wave: u64) -> Option<ValidatorId> {
+    fn elect(&self, view: DagView<'_>, wave: u64) -> Option<ValidatorId> {
         let r3 = Self::coin_round(wave);
-        let shares: Vec<CoinShare> = dag
-            .round_certs(r3)
-            .filter_map(|c| c.header.coin_share)
+        let shares: Vec<CoinShare> = view
+            .round_ids(r3)
+            .filter_map(|id| view.cert(id).header.coin_share)
             .collect();
         let coin = combine_shares(
             self.domain,
@@ -112,17 +118,17 @@ impl Tusk {
     /// every insertion until some later wave commits past it (at which
     /// point the recursion settles its fate once and for all).
     fn try_decide(&mut self, dag: &Dag) -> Vec<Certificate> {
+        let view = dag.view();
         let mut anchors = Vec::new();
         let mut wave = self.last_committed_wave + 1;
         // Stop at the first wave whose coin is not yet revealed; later
         // waves reveal even later.
-        while let Some(leader_id) = self.elect(dag, wave) {
+        while let Some(leader_id) = self.elect(view, wave) {
             let r1 = Self::proposal_round(wave);
-            if let Some(leader) = dag.get(r1, leader_id).cloned() {
+            if let Some(leader) = view.id_at(r1, leader_id) {
                 // Commit rule: f + 1 votes in the second round (§5).
-                let support = dag.support(&leader.header_digest(), r1);
-                if support >= self.committee.validity_threshold() {
-                    anchors.extend(self.commit(dag, leader, wave));
+                if view.support(leader) >= self.committee.validity_threshold() {
+                    anchors.extend(self.commit(view, leader, wave));
                 }
             }
             wave += 1;
@@ -132,13 +138,13 @@ impl Tusk {
 
     /// Commits the leader of `wave`, first recursively ordering every
     /// elected leader of the skipped waves that the anchor has a path to.
-    fn commit(&mut self, dag: &Dag, leader: Certificate, wave: u64) -> Vec<Certificate> {
-        let mut chain = vec![leader.clone()];
+    fn commit(&mut self, view: DagView<'_>, leader: CertId, wave: u64) -> Vec<Certificate> {
+        let mut chain = vec![leader];
         let mut candidate = leader;
         for w in (self.last_committed_wave + 1..wave).rev() {
-            if let Some(past) = self.leader_of(dag, w) {
-                if dag.path_exists(&candidate, &past) {
-                    chain.push(past.clone());
+            if let Some(past) = self.leader_id_of(view, w) {
+                if view.path_exists(candidate, past) {
+                    chain.push(past);
                     candidate = past;
                 }
             }
@@ -147,7 +153,7 @@ impl Tusk {
         self.indirect_commits += (chain.len() - 1) as u64;
         self.last_committed_wave = wave;
         chain.reverse();
-        chain
+        chain.into_iter().map(|id| view.cert(id).clone()).collect()
     }
 }
 

@@ -6,9 +6,9 @@
 //! for inclusion in the next block.
 
 use crate::committee::{ValidatorId, WorkerId};
-use crate::transaction::{Transaction, TxSample};
+use crate::transaction::{Transaction, TransactionRef, TxSample};
 use crate::WireSize;
-use nt_codec::{Decode, DecodeError, Encode, Reader};
+use nt_codec::{Decode, DecodeBorrowed, DecodeError, Encode, Reader};
 use nt_crypto::{Digest, Hashable};
 
 /// The transactions carried by a batch.
@@ -159,6 +159,131 @@ impl WireSize for Batch {
     }
 }
 
+/// The transactions carried by a [`BatchRef`], borrowing the input.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BatchPayloadRef<'a> {
+    /// Real transaction bytes as slices into the decode input.
+    Data(Vec<TransactionRef<'a>>),
+    /// A simulation descriptor (nothing to borrow).
+    Synthetic {
+        /// Number of transactions represented.
+        count: u64,
+        /// Total payload bytes represented.
+        bytes: u64,
+    },
+}
+
+/// A zero-copy view of a [`Batch`]: transaction payloads borrow the input.
+///
+/// The wire format is identical to [`Batch`] — a `BatchRef` decoded from a
+/// batch encoding re-encodes to the same bytes, so [`BatchRef::digest`]
+/// agrees with the owned [`Hashable`] digest. Worker ingress can therefore
+/// verify and digest a received batch without materializing its
+/// transactions, copying only if the batch is actually stored.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BatchRef<'a> {
+    /// The validator whose worker created the batch.
+    pub creator: ValidatorId,
+    /// Which of the creator's workers made it.
+    pub worker: WorkerId,
+    /// Creator-local sequence number (makes digests unique).
+    pub seq: u64,
+    /// The transactions (real or synthetic), borrowed.
+    pub payload: BatchPayloadRef<'a>,
+    /// Latency-tracking samples (small; owned).
+    pub samples: Vec<TxSample>,
+}
+
+impl BatchRef<'_> {
+    /// Number of transactions in the batch.
+    pub fn tx_count(&self) -> u64 {
+        match &self.payload {
+            BatchPayloadRef::Data(txs) => txs.len() as u64,
+            BatchPayloadRef::Synthetic { count, .. } => *count,
+        }
+    }
+
+    /// Total transaction payload bytes.
+    pub fn tx_bytes(&self) -> u64 {
+        match &self.payload {
+            BatchPayloadRef::Data(txs) => txs.iter().map(|t| t.len() as u64).sum(),
+            BatchPayloadRef::Synthetic { bytes, .. } => *bytes,
+        }
+    }
+
+    /// Materializes an owned [`Batch`], copying each transaction payload.
+    pub fn to_owned(&self) -> Batch {
+        Batch {
+            creator: self.creator,
+            worker: self.worker,
+            seq: self.seq,
+            payload: match &self.payload {
+                BatchPayloadRef::Data(txs) => {
+                    BatchPayload::Data(txs.iter().map(TransactionRef::to_owned).collect())
+                }
+                BatchPayloadRef::Synthetic { count, bytes } => BatchPayload::Synthetic {
+                    count: *count,
+                    bytes: *bytes,
+                },
+            },
+            samples: self.samples.clone(),
+        }
+    }
+
+    /// The batch digest; equal to the owned [`Hashable`] digest.
+    pub fn digest(&self) -> Digest {
+        Digest::of_parts(&[b"batch", &nt_codec::encode_to_vec(self)])
+    }
+}
+
+impl Encode for BatchRef<'_> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.creator.encode(buf);
+        self.worker.encode(buf);
+        self.seq.encode(buf);
+        match &self.payload {
+            BatchPayloadRef::Data(txs) => {
+                buf.push(0);
+                nt_codec::put_varint(buf, txs.len() as u64);
+                for tx in txs {
+                    nt_codec::put_varint(buf, tx.payload.len() as u64);
+                    buf.extend_from_slice(tx.payload);
+                }
+            }
+            BatchPayloadRef::Synthetic { count, bytes } => {
+                buf.push(1);
+                count.encode(buf);
+                bytes.encode(buf);
+            }
+        }
+        self.samples.encode(buf);
+    }
+}
+
+impl<'a> DecodeBorrowed<'a> for BatchRef<'a> {
+    fn decode_borrowed(reader: &mut Reader<'a>) -> Result<Self, DecodeError> {
+        let creator = ValidatorId::decode(reader)?;
+        let worker = WorkerId::decode(reader)?;
+        let seq = u64::decode(reader)?;
+        let payload = match reader.take_byte()? {
+            0 => BatchPayloadRef::Data(Vec::<TransactionRef<'a>>::decode_borrowed(reader)?),
+            1 => BatchPayloadRef::Synthetic {
+                count: u64::decode(reader)?,
+                bytes: u64::decode(reader)?,
+            },
+            t => return Err(DecodeError::InvalidTag(t as u64)),
+        };
+        let samples = Vec::<TxSample>::decode(reader)?;
+        Ok(BatchRef {
+            creator,
+            worker,
+            seq,
+            payload,
+            samples,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +329,45 @@ mod tests {
         assert!(b.wire_size() >= 512_000);
         // The descriptor itself is tiny.
         assert!(encode_to_vec(&b).len() < 100);
+    }
+
+    #[test]
+    fn batch_ref_borrows_and_agrees_with_owned() {
+        let b = sample_batch();
+        let bytes = encode_to_vec(&b);
+        let view: BatchRef<'_> = nt_codec::decode_borrowed_from_slice(&bytes).unwrap();
+        assert_eq!(view.creator, b.creator);
+        assert_eq!(view.tx_count(), b.tx_count());
+        assert_eq!(view.tx_bytes(), b.tx_bytes());
+        assert_eq!(view.digest(), b.digest());
+        assert_eq!(view.to_owned(), b);
+        // Transaction payloads alias the input buffer — no payload copy.
+        if let BatchPayloadRef::Data(txs) = &view.payload {
+            for tx in txs {
+                let start = tx.payload.as_ptr() as usize - bytes.as_ptr() as usize;
+                assert!(start + tx.payload.len() <= bytes.len());
+            }
+        } else {
+            panic!("expected data payload");
+        }
+        // Synthetic descriptors take the same path.
+        let s = Batch::synthetic(ValidatorId(0), WorkerId(2), 3, 1000, 512_000, vec![]);
+        let bytes = encode_to_vec(&s);
+        let view: BatchRef<'_> = nt_codec::decode_borrowed_from_slice(&bytes).unwrap();
+        assert_eq!(view.digest(), s.digest());
+        assert_eq!(view.to_owned(), s);
+    }
+
+    #[test]
+    fn batch_ref_rejects_what_owned_rejects() {
+        let bytes = encode_to_vec(&sample_batch());
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                nt_codec::decode_borrowed_from_slice::<BatchRef<'_>>(&bytes[..cut]).is_err(),
+                decode_from_slice::<Batch>(&bytes[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
     }
 
     #[test]

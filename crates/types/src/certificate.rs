@@ -12,7 +12,7 @@ use crate::header::{Header, HeaderError};
 use crate::vote::{vote_message, Vote};
 use crate::{Round, WireSize};
 use nt_codec::{Decode, DecodeError, Encode, Reader};
-use nt_crypto::{Digest, Hashable, Signature};
+use nt_crypto::{verify_batch, BatchItem, Digest, Hashable, Signature};
 
 /// A certificate of availability for one block.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -83,14 +83,79 @@ impl Certificate {
 
     /// Verifies the embedded block, quorum size, voter uniqueness and every
     /// vote signature.
+    ///
+    /// The `2f + 1` vote signatures all cover the same message, so they are
+    /// checked as one batched multiscalar equation ([`verify_batch`]); a bad
+    /// batch falls back to the sequential pass to name the offending voter.
     pub fn verify(&self, committee: &Committee) -> Result<(), CertificateError> {
+        let msg = self.structural_checks(committee)?;
+        let Some(msg) = msg else {
+            // Genesis: no votes to check.
+            return Ok(());
+        };
+        let items: Vec<BatchItem<'_>> = self
+            .votes
+            .iter()
+            .map(|(voter, signature)| BatchItem {
+                public: committee.public_key(*voter),
+                message: &msg,
+                signature: *signature,
+            })
+            .collect();
+        verify_batch(committee.scheme(), &items)
+            .map_err(|i| CertificateError::InvalidSignature(self.votes[i].0))
+    }
+
+    /// Verifies a group of certificates in one multiscalar equation,
+    /// amortizing the doubling chain across *all* their vote signatures
+    /// (used for bulk ingress: `CertResponse` pulls and snapshot frontiers).
+    ///
+    /// Returns the index of the first certificate that fails together with
+    /// its error. Structural checks (headers, quorums, voter sets) stay
+    /// per-certificate; only the signature algebra is shared.
+    pub fn verify_all(
+        committee: &Committee,
+        certs: &[Certificate],
+    ) -> Result<(), (usize, CertificateError)> {
+        // Vote messages must outlive the batch items borrowing them.
+        let mut messages: Vec<(usize, Vec<u8>)> = Vec::with_capacity(certs.len());
+        for (c, cert) in certs.iter().enumerate() {
+            if let Some(msg) = cert.structural_checks(committee).map_err(|e| (c, e))? {
+                messages.push((c, msg));
+            }
+        }
+        let mut items: Vec<BatchItem<'_>> = Vec::new();
+        let mut owner: Vec<(usize, usize)> = Vec::new();
+        for (c, msg) in &messages {
+            for (v, (voter, signature)) in certs[*c].votes.iter().enumerate() {
+                items.push(BatchItem {
+                    public: committee.public_key(*voter),
+                    message: msg,
+                    signature: *signature,
+                });
+                owner.push((*c, v));
+            }
+        }
+        verify_batch(committee.scheme(), &items).map_err(|i| {
+            let (c, v) = owner[i];
+            (c, CertificateError::InvalidSignature(certs[c].votes[v].0))
+        })
+    }
+
+    /// The non-signature half of [`Certificate::verify`]: header validity,
+    /// voter membership/uniqueness and quorum size. Returns the vote message
+    /// the signatures must cover, or `None` for genesis certificates.
+    fn structural_checks(
+        &self,
+        committee: &Committee,
+    ) -> Result<Option<Vec<u8>>, CertificateError> {
         self.header
             .verify(committee)
             .map_err(CertificateError::BadHeader)?;
         if self.round() == 0 {
             // Genesis certificates carry no votes and are valid iff the
             // header is the canonical genesis (checked above).
-            return Ok(());
+            return Ok(None);
         }
         let mut voters: Vec<ValidatorId> = self.votes.iter().map(|(id, _)| *id).collect();
         voters.sort_unstable();
@@ -104,19 +169,16 @@ impl Certificate {
                 need: committee.quorum_threshold(),
             });
         }
-        let msg = vote_message(&self.header_digest(), self.round(), self.origin());
-        for (voter, signature) in &self.votes {
+        for (voter, _) in &self.votes {
             if !committee.contains(*voter) {
                 return Err(CertificateError::UnknownVoter(*voter));
             }
-            if !committee
-                .public_key(*voter)
-                .verify_with(committee.scheme(), &msg, signature)
-            {
-                return Err(CertificateError::InvalidSignature(*voter));
-            }
         }
-        Ok(())
+        Ok(Some(vote_message(
+            &self.header_digest(),
+            self.round(),
+            self.origin(),
+        )))
     }
 }
 
@@ -323,6 +385,32 @@ mod tests {
         let cert_b = Certificate::from_votes(&c, h.clone(), &make_votes(&kps[1..4], &h)).unwrap();
         assert_ne!(cert_a.votes, cert_b.votes);
         assert_eq!(cert_a.digest(), cert_b.digest());
+    }
+
+    #[test]
+    fn verify_all_accepts_and_names_offender() {
+        let (c, kps) = setup();
+        let certs: Vec<Certificate> = (0..3)
+            .map(|author| {
+                let h = make_header(&c, &kps, author);
+                let votes = make_votes(&kps[..3], &h);
+                Certificate::from_votes(&c, h, &votes).expect("quorum")
+            })
+            .collect();
+        assert_eq!(Certificate::verify_all(&c, &certs), Ok(()));
+        assert_eq!(Certificate::verify_all(&c, &[]), Ok(()));
+        // Mixing genesis (no votes) with signed certificates works.
+        let mut with_genesis = certs.clone();
+        with_genesis.insert(0, Certificate::genesis(ValidatorId(2)));
+        assert_eq!(Certificate::verify_all(&c, &with_genesis), Ok(()));
+        // A corrupted signature is attributed to the right certificate.
+        let mut bad = certs;
+        bad[1].votes[2].1 .0[5] ^= 1;
+        let voter = bad[1].votes[2].0;
+        assert_eq!(
+            Certificate::verify_all(&c, &bad),
+            Err((1, CertificateError::InvalidSignature(voter)))
+        );
     }
 
     #[test]

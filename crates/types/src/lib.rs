@@ -15,12 +15,12 @@ pub mod header;
 pub mod transaction;
 pub mod vote;
 
-pub use batch::{Batch, BatchPayload};
+pub use batch::{Batch, BatchPayload, BatchPayloadRef, BatchRef};
 pub use certificate::Certificate;
 pub use commit::CommitEvent;
 pub use committee::{Committee, ValidatorId, ValidatorInfo, WorkerId};
 pub use header::Header;
-pub use transaction::{Transaction, TxSample};
+pub use transaction::{Transaction, TransactionRef, TxSample};
 pub use vote::Vote;
 
 /// A Narwhal round number (the DAG layer index).

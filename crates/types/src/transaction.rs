@@ -1,7 +1,7 @@
 //! Client transactions and the latency-sampling machinery.
 
 use crate::WireSize;
-use nt_codec::{Decode, DecodeError, Encode, Reader};
+use nt_codec::{Decode, DecodeBorrowed, DecodeError, Encode, Reader};
 
 /// An opaque client transaction.
 ///
@@ -59,6 +59,40 @@ impl Decode for Transaction {
 impl WireSize for Transaction {
     fn wire_size(&self) -> usize {
         self.encoded_len()
+    }
+}
+
+/// A zero-copy view of a [`Transaction`]: the payload borrows the input.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TransactionRef<'a> {
+    /// Raw payload bytes, borrowed from the decode input.
+    pub payload: &'a [u8],
+}
+
+impl TransactionRef<'_> {
+    /// Payload size in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True if the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// Materializes an owned [`Transaction`] (the single payload copy).
+    pub fn to_owned(&self) -> Transaction {
+        Transaction {
+            payload: self.payload.to_vec(),
+        }
+    }
+}
+
+impl<'a> DecodeBorrowed<'a> for TransactionRef<'a> {
+    fn decode_borrowed(reader: &mut Reader<'a>) -> Result<Self, DecodeError> {
+        Ok(TransactionRef {
+            payload: <&[u8]>::decode_borrowed(reader)?,
+        })
     }
 }
 

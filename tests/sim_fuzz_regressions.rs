@@ -215,14 +215,16 @@ fn fuzz_regression_seed_219_torn_certificate() {
                 unit: 2,
                 at: 10100 * MS,
                 until: 10222 * MS,
-                tear: 12,
+                tear: 20,
             },
         ],
     };
     // The simulation seed pins the victim's write pattern so the tear
     // lands on the own-certificate write (snapshot persistence shifted the
-    // store tail when it landed; seed 219 realigns the cut).
-    let params = fuzz_params(219);
+    // store tail when it landed, seed 219 realigned the cut; the hot-path
+    // overhaul's coverage-wish proposal timing shifted it again, seed 208
+    // with a 20-record tear realigns it).
+    let params = fuzz_params(208);
     let clean = run_schedule(System::BullsharkRep, &params, &schedule, Default::default());
     assert!(clean.violations.is_empty(), "{:#?}", clean.violations);
 
