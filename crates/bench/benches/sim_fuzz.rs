@@ -7,22 +7,34 @@
 //! per-link delay spikes), which runs against one of the four DAG systems
 //! (Tusk, DAG-Rider, Bullshark, Bullshark-Rep) and is judged by the
 //! checker suite (agreement, total order, commit loss, batch exactly-once,
-//! catch-up, tail liveness). On a violation the harness prints the seed,
-//! shrinks the schedule to a minimal reproducer, and emits a
+//! catch-up, tail liveness, fairness). On a violation the harness prints
+//! the seed, shrinks the schedule to a minimal reproducer, and emits a
 //! copy-pasteable regression test; the failing seed alone reproduces the
 //! run bit-for-bit.
 //!
+//! A second, *Byzantine* corpus re-runs seeded schedules with `f` of the
+//! validators wrapped in adversary actors (equivocation, vote-lock
+//! amnesia, selective censorship, delayed certificate release — kinds
+//! rotating per seed, mixed coalitions at larger committees) over
+//! seed-weighted committee sizes (4/10/16) with worker-link spikes. The
+//! honest-validator checkers must stay green: `f` adversaries of any kind
+//! are inside the fault model the paper's §5 claims cover.
+//!
 //! Usage (`cargo bench -p nt_bench --bench sim_fuzz -- [flags]`):
 //!
-//! - (no flags): a 1000-schedule corpus plus the self-test.
-//! - `--test`: the CI corpus (240 schedules, 60 per system), the
-//!   deliberate-bug self-test, and the shrinker gate.
-//! - `--seed N [--system NAME]`: replay one seed (all systems by
-//!   default), printing its schedule and any violations.
-//! - `--schedules N`: override the corpus size.
+//! - (no flags): a 1000-schedule crash corpus, a 120-case Byzantine
+//!   corpus, plus the self-test.
+//! - `--test`: the CI corpora (240 crash schedules, 60 per system; 24
+//!   Byzantine cases), the deliberate-bug + adversary self-test, and the
+//!   shrinker gate.
+//! - `--seed N [--system NAME]`: replay one crash-corpus seed (all
+//!   systems by default), printing its schedule and any violations.
+//! - `--schedules N`: override the crash corpus size.
+//! - `--byz-cases N`: override the Byzantine corpus size.
 
 use nt_bench::fuzz::{
-    self, fuzz_params, noisy_selftest_schedule, run_case, run_schedule, shrink_case, QUIET_TAIL,
+    self, fuzz_params, noisy_selftest_schedule, run_byz_case, run_case, run_schedule, shrink_case,
+    QUIET_TAIL,
 };
 use nt_bench::{regression_snippet, System, Violation};
 use nt_network::SEC;
@@ -65,7 +77,7 @@ fn run_corpus(start: u64, count: u64) -> (Vec<Failure>, String) {
                                 t.2 += (*tear > 0) as usize;
                             }
                             FaultEvent::Split { .. } => t.3 += 1,
-                            FaultEvent::Spike { .. } => t.4 += 1,
+                            FaultEvent::Spike { .. } | FaultEvent::WorkerSpike { .. } => t.4 += 1,
                         }
                     }
                     t.5 += outcome.stats.throughput_tps;
@@ -90,6 +102,52 @@ fn run_corpus(start: u64, count: u64) -> (Vec<Failure>, String) {
     let mut failures = failures.into_inner().unwrap();
     failures.sort_by_key(|f| f.seed);
     (failures, summary)
+}
+
+/// Runs the Byzantine corpus: seeds `[start, start + count)` round-robin
+/// over the four systems, each with its seed's adversary coalition over
+/// the seed-weighted committee. Any violation here is an honest-validator
+/// safety or liveness breach under `f` Byzantine actors — a real bug.
+fn run_byz_corpus(start: u64, count: u64) -> Vec<Failure> {
+    let failures: Mutex<Vec<Failure>> = Mutex::new(Vec::new());
+    let next = std::sync::atomic::AtomicU64::new(start);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let seed = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if seed >= start + count {
+                    return;
+                }
+                let system = fuzz::SYSTEMS[(seed % 4) as usize];
+                let (schedule, byz, outcome) = run_byz_case(system, seed);
+                if !outcome.violations.is_empty() {
+                    println!();
+                    println!(
+                        "BYZANTINE VIOLATION at seed {seed} ({}) with {:?}:",
+                        system.name(),
+                        byz
+                    );
+                    println!("schedule: {}", schedule.summary());
+                    for violation in &outcome.violations {
+                        println!("  {violation}");
+                    }
+                    failures.lock().unwrap().push(Failure {
+                        seed,
+                        system,
+                        schedule,
+                        violations: outcome.violations,
+                    });
+                }
+            });
+        }
+    });
+    let mut failures = failures.into_inner().unwrap();
+    failures.sort_by_key(|f| f.seed);
+    failures
 }
 
 fn report_failure(failure: &Failure) {
@@ -171,8 +229,20 @@ fn self_test() {
     let mut distinct: Vec<&'static str> = Vec::new();
     for arm in &arms {
         let fired: Vec<&str> = arm.fired.iter().map(|c| c.name()).collect();
+        let adversaries = if arm.byzantine.is_empty() {
+            String::new()
+        } else {
+            format!(
+                " [{}]",
+                arm.byzantine
+                    .iter()
+                    .map(|(v, k)| format!("{}@{}", k.name(), v.0))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        };
         println!(
-            "  {:<24} vs {:<13} -> {}",
+            "  {:<24} vs {:<13}{adversaries} -> {}",
             arm.bug,
             arm.system.name(),
             if fired.is_empty() {
@@ -253,9 +323,12 @@ fn main() {
     let count: u64 = flag_value("--schedules")
         .map(|n| n.parse().expect("--schedules takes a number"))
         .unwrap_or(if test_mode { 240 } else { 1_000 });
+    let byz_cases: u64 = flag_value("--byz-cases")
+        .map(|n| n.parse().expect("--byz-cases takes a number"))
+        .unwrap_or(if test_mode { 24 } else { 120 });
     println!(
         "sim_fuzz: {count} random fault schedules across {} systems \
-         (20 s runs, {} s quiet tail){}",
+         (20 s runs, {} s quiet tail), then {byz_cases} Byzantine cases{}",
         fuzz::SYSTEMS.len(),
         QUIET_TAIL / SEC,
         if test_mode { " [test mode]" } else { "" }
@@ -266,6 +339,13 @@ fn main() {
     for failure in &failures {
         report_failure(failure);
     }
+    let byz_start = std::time::Instant::now();
+    let byz_failures = run_byz_corpus(0, byz_cases);
+    println!(
+        "{byz_cases} Byzantine cases (f adversaries each, kinds rotating, 4/10/16 validators) \
+         [{:.0}s]",
+        byz_start.elapsed().as_secs_f64()
+    );
     self_test();
     assert!(
         failures.is_empty(),
@@ -273,6 +353,15 @@ fn main() {
         failures.len(),
         failures.iter().map(|f| f.seed).collect::<Vec<_>>()
     );
+    assert!(
+        byz_failures.is_empty(),
+        "{} Byzantine cases violated honest-validator invariants (seeds {:?})",
+        byz_failures.len(),
+        byz_failures.iter().map(|f| f.seed).collect::<Vec<_>>()
+    );
     println!();
-    println!("All {count} schedules upheld every invariant; self-test checkers live.");
+    println!(
+        "All {count} schedules and {byz_cases} Byzantine cases upheld every invariant; \
+         self-test checkers live."
+    );
 }

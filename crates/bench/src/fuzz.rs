@@ -23,8 +23,8 @@ use crate::checker::{check_all, CheckInput, Checker, Violation};
 use crate::metrics::RunStats;
 use crate::params::BenchParams;
 use crate::runner::System;
-use crate::runner::{build_dag_actor_factories_with_config, narwhal_topology, validator_hosts};
-use narwhal::{NarwhalConfig, SelfTestBugs};
+use crate::runner::{build_dag_actor_factories_byz, narwhal_topology, validator_hosts};
+use narwhal::{AdversaryKind, NarwhalConfig, SelfTestBugs};
 use nt_crypto::Scheme;
 use nt_network::{NodeId, Time, MS, SEC};
 use nt_simnet::{FaultEvent, FuzzPlan, Schedule, SimConfig, Simulation};
@@ -118,12 +118,27 @@ pub fn run_schedule(
     schedule: &Schedule,
     bugs: SelfTestBugs,
 ) -> FuzzOutcome {
+    run_schedule_byz(system, params, schedule, bugs, &[])
+}
+
+/// [`run_schedule`] with adversary actors: each `(validator, kind)` pair
+/// wraps that validator's primary in a [`narwhal::Byzantine`] actor, and
+/// the checkers judge the honest remainder only ([`CheckInput::byzantine`]).
+/// Deterministic like `run_schedule`; adversaries compose with the fault
+/// schedule (a crashed adversary restarts as the same adversary).
+pub fn run_schedule_byz(
+    system: System,
+    params: &BenchParams,
+    schedule: &Schedule,
+    bugs: SelfTestBugs,
+    byzantine: &[(ValidatorId, AdversaryKind)],
+) -> FuzzOutcome {
     let nodes = params.nodes;
     let stores: Vec<DynStore> = (0..nodes)
         .map(|_| Arc::new(JournalStore::new()) as DynStore)
         .collect();
     let config = fuzz_config(params, bugs);
-    let factories = build_dag_actor_factories_with_config(system, params, &config, &stores);
+    let factories = build_dag_actor_factories_byz(system, params, &config, &stores, byzantine);
     let unit_hosts: Vec<Vec<NodeId>> = (0..nodes)
         .map(|v| validator_hosts(nodes, params.workers, ValidatorId(v as u32)))
         .collect();
@@ -161,6 +176,7 @@ pub fn run_schedule(
         schedule,
         stores: &stores,
         committee: &committee,
+        byzantine: &byzantine.iter().map(|(v, _)| *v).collect::<Vec<_>>(),
     });
     let snapshot_installs = stores
         .iter()
@@ -186,6 +202,75 @@ pub fn run_case(system: System, seed: u64) -> (Schedule, FuzzOutcome) {
     let schedule = Schedule::generate(seed, &fuzz_plan(&params));
     let outcome = run_schedule(system, &params, &schedule, SelfTestBugs::default());
     (schedule, outcome)
+}
+
+/// Bench parameters for the Byzantine corpus: committee size is
+/// seed-weighted toward the paper's deployment scales (4, 10 and 16
+/// validators), at a submission rate the larger committees sustain in
+/// simulation. `fuzz_params` stays fixed at 4 validators — the pinned
+/// regression reproducers depend on it.
+pub fn corpus_params(seed: u64) -> BenchParams {
+    let nodes = match seed % 3 {
+        0 => 4,
+        1 => 10,
+        _ => 16,
+    };
+    BenchParams {
+        nodes,
+        workers: 1,
+        rate: if nodes > 4 { 500.0 } else { 2_000.0 },
+        duration: 20 * SEC,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// The generation envelope matching [`corpus_params`]: the crash-corpus
+/// plan with worker-link-targeted spikes switched on (batch dissemination
+/// lags while the primary DAG keeps certifying — §4.2's scale-out surface).
+pub fn corpus_plan(params: &BenchParams) -> FuzzPlan {
+    let mut plan = fuzz_plan(params);
+    plan.worker_spikes = true;
+    plan
+}
+
+/// Deterministic adversary coalition for one corpus seed: `f = ⌊(n−1)/3⌋`
+/// validators at the committee's tail run adversaries, with kinds rotating
+/// by seed — at `f > 1` the coalition mixes kinds. The censor's victim is
+/// validator 0 (never itself Byzantine), and certificate releases are
+/// delayed past the vote round-trip but inside the GC window.
+pub fn byz_assignment(seed: u64, nodes: usize) -> Vec<(ValidatorId, AdversaryKind)> {
+    let f = (nodes - 1) / 3;
+    let kinds = [
+        AdversaryKind::Equivocate,
+        AdversaryKind::VoteAmnesia,
+        AdversaryKind::Censor {
+            victim: ValidatorId(0),
+        },
+        AdversaryKind::DelayRelease { rounds: 4 },
+    ];
+    (0..f)
+        .map(|i| {
+            (
+                ValidatorId((nodes - f + i) as u32),
+                kinds[(seed as usize + i) % kinds.len()],
+            )
+        })
+        .collect()
+}
+
+/// One Byzantine corpus case: seed `seed`'s schedule under
+/// [`corpus_plan`], with seed `seed`'s adversary coalition, judged over the
+/// honest validators. Returns the coalition for reporting.
+pub fn run_byz_case(
+    system: System,
+    seed: u64,
+) -> (Schedule, Vec<(ValidatorId, AdversaryKind)>, FuzzOutcome) {
+    let params = corpus_params(seed);
+    let schedule = Schedule::generate(seed, &corpus_plan(&params));
+    let byz = byz_assignment(seed, params.nodes);
+    let outcome = run_schedule_byz(system, &params, &schedule, SelfTestBugs::default(), &byz);
+    (schedule, byz, outcome)
 }
 
 /// Greedily minimizes a failing schedule, re-running the checkers on every
@@ -236,7 +321,8 @@ fn fuzz_regression_seed_{seed}() {{
 
 /// Outcome of one bug-switch arm of the self-test.
 pub struct SelfTestArm {
-    /// Name of the switch that was flipped.
+    /// Name of the switch that was flipped (or the adversary coalition
+    /// that ran, for the Byzantine arms).
     pub bug: &'static str,
     /// The system it ran against.
     pub system: System,
@@ -245,10 +331,11 @@ pub struct SelfTestArm {
     /// How many candidate schedules were tried before one fired (equals
     /// the candidate count when none did).
     pub candidates_tried: usize,
-    /// Whether the arm is expected to fire at all (vote-lock persistence
-    /// guards against Byzantine re-proposals, which crash-only schedules
-    /// cannot produce).
+    /// Whether the arm is expected to fire at all.
     pub expect_fire: bool,
+    /// The adversary coalition the arm ran with (empty for pure
+    /// bug-switch arms).
+    pub byzantine: Vec<(ValidatorId, AdversaryKind)>,
 }
 
 /// The deliberate-bug self-test: flip each [`SelfTestBugs`] switch on
@@ -329,14 +416,71 @@ pub fn self_test() -> Vec<SelfTestArm> {
         schedules.into_iter().map(|s| (11, s)).collect()
     };
     /// One self-test arm: `(bug name, switches, system, seeded candidate
-    /// schedules, whether a checker is expected to fire)`.
+    /// schedules, whether a checker is expected to fire, adversaries)`.
     type Arm = (
         &'static str,
         SelfTestBugs,
         System,
         Vec<(u64, Schedule)>,
         bool,
+        Vec<(ValidatorId, AdversaryKind)>,
     );
+    // Adversary coalitions for the Byzantine arms. Each exceeds the f = 1
+    // a 4-validator committee tolerates (or pairs a bug switch with an
+    // equivocator) — proving the corresponding checker catches exactly the
+    // misbehaviour the adversary produces.
+    let equivocate_amnesia = vec![
+        (ValidatorId(0), AdversaryKind::Equivocate),
+        (ValidatorId(1), AdversaryKind::VoteAmnesia),
+    ];
+    let censor_pair = vec![
+        (
+            ValidatorId(2),
+            AdversaryKind::Censor {
+                victim: ValidatorId(0),
+            },
+        ),
+        (
+            ValidatorId(3),
+            AdversaryKind::Censor {
+                victim: ValidatorId(0),
+            },
+        ),
+    ];
+    let delay_pair = vec![
+        (ValidatorId(2), AdversaryKind::DelayRelease { rounds: 8 }),
+        (ValidatorId(3), AdversaryKind::DelayRelease { rounds: 8 }),
+    ];
+    // `skip_vote_persist` needs an equivocator plus a crash that makes one
+    // original-voter forget its (never-persisted) vote lock while the
+    // committee is still in the same round: the restarted voter signs the
+    // retransmitted twin, both twins certify, and the payload commits
+    // twice. Candidates vary the crashed voter and the phase; the outage
+    // must be short enough that the round hasn't moved on at restart.
+    let voter_crashes: Vec<(u64, Schedule)> = [
+        (11, 1, 8_000, 150),
+        (11, 2, 8_000, 150),
+        (11, 1, 6_500, 120),
+        (11, 2, 6_500, 120),
+        (11, 1, 9_050, 180),
+        (7, 1, 8_000, 150),
+        (7, 2, 7_400, 140),
+    ]
+    .into_iter()
+    .map(|(seed, unit, at_ms, len_ms): (u64, u32, u64, u64)| {
+        (
+            seed,
+            Schedule {
+                events: vec![FaultEvent::Outage {
+                    unit,
+                    at: at_ms * MS,
+                    until: (at_ms + len_ms) * MS,
+                    tear: 0,
+                }],
+            },
+        )
+    })
+    .collect();
     let arms: Vec<Arm> = vec![
         (
             "skip_ordered_persist",
@@ -344,6 +488,7 @@ pub fn self_test() -> Vec<SelfTestArm> {
             System::Tusk,
             seeded(long_outages.clone()),
             true,
+            vec![],
         ),
         (
             "skip_sequence_persist",
@@ -351,6 +496,7 @@ pub fn self_test() -> Vec<SelfTestArm> {
             System::Bullshark,
             seeded(long_outages.clone()),
             true,
+            vec![],
         ),
         (
             "skip_inflight_recovery",
@@ -358,6 +504,7 @@ pub fn self_test() -> Vec<SelfTestArm> {
             System::Bullshark,
             seeded(short_outages.clone()),
             true,
+            vec![],
         ),
         (
             "disable_cert_pull",
@@ -365,6 +512,7 @@ pub fn self_test() -> Vec<SelfTestArm> {
             System::DagRider,
             seeded(long_outages.clone()),
             true,
+            vec![],
         ),
         (
             "skip_sync_barriers",
@@ -372,6 +520,7 @@ pub fn self_test() -> Vec<SelfTestArm> {
             System::BullsharkRep,
             torn_outages.clone(),
             true,
+            vec![],
         ),
         (
             "disable_snapshots",
@@ -379,23 +528,49 @@ pub fn self_test() -> Vec<SelfTestArm> {
             System::Tusk,
             seeded(past_gc_outages.clone()),
             true,
+            vec![],
         ),
         (
             "skip_vote_persist",
             bug(|b| b.skip_vote_persist = true),
             System::Tusk,
-            seeded(long_outages.clone()),
-            false,
+            voter_crashes,
+            true,
+            vec![(ValidatorId(0), AdversaryKind::Equivocate)],
+        ),
+        (
+            "equivocate+vote_amnesia",
+            SelfTestBugs::default(),
+            System::Tusk,
+            vec![(11, Schedule::default())],
+            true,
+            equivocate_amnesia,
+        ),
+        (
+            "censor_pair",
+            SelfTestBugs::default(),
+            System::Bullshark,
+            vec![(11, Schedule::default())],
+            true,
+            censor_pair,
+        ),
+        (
+            "delay_release_pair",
+            SelfTestBugs::default(),
+            System::DagRider,
+            vec![(11, Schedule::default())],
+            true,
+            delay_pair,
         ),
     ];
     arms.into_iter()
-        .map(|(bug, bugs, system, candidates, expect_fire)| {
+        .map(|(bug, bugs, system, candidates, expect_fire, byzantine)| {
             let mut fired: Vec<Checker> = Vec::new();
             let mut tried = 0;
             for (params_seed, schedule) in candidates {
                 tried += 1;
                 let params = fuzz_params(params_seed);
-                let outcome = run_schedule(system, &params, &schedule, bugs);
+                let outcome = run_schedule_byz(system, &params, &schedule, bugs, &byzantine);
                 if !outcome.violations.is_empty() {
                     fired = outcome.violations.iter().map(|v| v.checker).collect();
                     fired.sort_unstable();
@@ -409,6 +584,7 @@ pub fn self_test() -> Vec<SelfTestArm> {
                 fired,
                 candidates_tried: tried,
                 expect_fire,
+                byzantine,
             }
         })
         .collect()
@@ -464,4 +640,70 @@ pub fn noisy_selftest_schedule() -> (Schedule, SelfTestBugs) {
             ..Default::default()
         },
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use narwhal::AdversaryKind;
+    use nt_types::ValidatorId;
+
+    /// Byzantine runs replay bit-identically from their seed: the adversary
+    /// wrappers keep ordered state and emit effects as a pure function of
+    /// the delivered event, so a violating corpus case reproduces exactly
+    /// from its `(system, seed, schedule, coalition)` line.
+    #[test]
+    fn byzantine_runs_are_deterministic() {
+        let params = BenchParams {
+            nodes: 4,
+            workers: 1,
+            rate: 1_000.0,
+            duration: 8 * SEC,
+            seed: 77,
+            ..Default::default()
+        };
+        let schedule = Schedule {
+            events: vec![
+                FaultEvent::Outage {
+                    unit: 2,
+                    at: 3 * SEC,
+                    until: 4 * SEC,
+                    tear: 4,
+                },
+                FaultEvent::Spike {
+                    a: 0,
+                    b: 3,
+                    from: 5 * SEC,
+                    until: 6 * SEC,
+                    extra: 150 * MS,
+                },
+            ],
+        };
+        let byz = [
+            (ValidatorId(1), AdversaryKind::Equivocate),
+            (
+                ValidatorId(3),
+                AdversaryKind::Censor {
+                    victim: ValidatorId(0),
+                },
+            ),
+        ];
+        let run = || {
+            let out = run_schedule_byz(
+                System::Bullshark,
+                &params,
+                &schedule,
+                SelfTestBugs::default(),
+                &byz,
+            );
+            (
+                format!("{:?}", out.violations),
+                out.commit_events,
+                out.snapshot_installs,
+            )
+        };
+        let first = run();
+        assert!(first.1 > 0, "the honest committee must make progress");
+        assert_eq!(first, run(), "Byzantine replay diverged");
+    }
 }

@@ -296,6 +296,54 @@ pub fn build_dag_actor_factories_with_app(
     factories
 }
 
+/// Like [`build_dag_actor_factories_with_config`], but wrapping the listed
+/// validators' primaries in [`narwhal::Byzantine`] adversary actors. The
+/// wrapper composes with crash–restart schedules the same way the honest
+/// factories do: a restarted adversary is rebuilt around a fresh inner
+/// primary (same durable store) and resumes misbehaving.
+///
+/// Workers are left honest — every adversary in this corpus attacks the
+/// primary protocol (headers, votes, certificates); the worker layer's
+/// quorum acknowledgments are orthogonal.
+pub fn build_dag_actor_factories_byz(
+    system: System,
+    params: &BenchParams,
+    config: &narwhal::NarwhalConfig,
+    stores: &[DynStore],
+    byzantine: &[(ValidatorId, narwhal::AdversaryKind)],
+) -> Vec<ActorFactory<tusk::TuskMsg>> {
+    let factories = build_dag_actor_factories_with_config(system, params, config, stores);
+    let (committee, kps) = Committee::deterministic(params.nodes, params.workers, Scheme::Insecure);
+    let addr = AddressBook::new(params.nodes, params.workers);
+    let assignment: std::collections::BTreeMap<u32, narwhal::AdversaryKind> =
+        byzantine.iter().map(|(v, k)| (v.0, *k)).collect();
+    factories
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut inner)| -> ActorFactory<tusk::TuskMsg> {
+            // Primaries occupy the first `nodes` factory slots, in order.
+            let Some(kind) = (i < params.nodes)
+                .then(|| assignment.get(&(i as u32)).copied())
+                .flatten()
+            else {
+                return inner;
+            };
+            let v = ValidatorId(i as u32);
+            let (committee, kp) = (committee.clone(), kps[i].clone());
+            Box::new(move || {
+                Box::new(narwhal::Byzantine::new(
+                    inner(),
+                    kind,
+                    v,
+                    kp.clone(),
+                    committee.clone(),
+                    addr,
+                ))
+            })
+        })
+        .collect()
+}
+
 /// Runs durable factory-built actors under an explicit fault schedule
 /// (crashes *and* restarts) and returns the raw result.
 pub fn run_factories_result(

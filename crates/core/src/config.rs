@@ -32,16 +32,20 @@ pub struct SelfTestBugs {
     pub skip_sequence_persist: bool,
     /// Do not persist §3.1 vote locks before votes leave. With crash-only
     /// faults this cannot certify an equivocation (peers keep their locks),
-    /// so no *safety* checker fires — kept as the honest demonstration that
-    /// this persist guards against Byzantine re-proposals, not crashes.
+    /// but against an *equivocating* adversary the forgotten lock is
+    /// fatal: a restarted validator re-votes for the twin of a block it
+    /// already signed, both twins certify, and the committee double-commits
+    /// the payload — the `skip_vote_persist` self-test arm pairs this
+    /// switch with [`crate::adversary::AdversaryKind::Equivocate`] to
+    /// prove the persist is load-bearing.
     pub skip_vote_persist: bool,
     /// Skip the recovery step that re-derives in-flight own payloads from
     /// certified-but-uncommitted blocks: a restarted validator re-proposes
     /// batches already on their way to commit, committing them twice.
     pub skip_inflight_recovery: bool,
-    /// Disable §4.1 pull synchronization (initial requests and retries): a
-    /// validator that misses certificates never recovers them and stalls
-    /// behind the committee.
+    /// Disable §4.1 pull synchronization (initial digest requests, their
+    /// retries, and the batched round-range pull): a validator that misses
+    /// certificates never recovers them and stalls behind the committee.
     pub disable_cert_pull: bool,
     /// Skip the durability barriers taken before a proposal's broadcast
     /// leaves and after an own certificate is persisted, re-opening the

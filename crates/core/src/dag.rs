@@ -1,10 +1,19 @@
 //! The round-based block DAG (§2.1, §3.1).
 //!
 //! The DAG stores *certified* blocks only, indexed by round and author.
-//! Within a round each author holds at most one certificate — quorum
-//! intersection makes equivocation at the certificate level impossible
-//! (two certificates for the same `(round, author)` would require an honest
-//! validator to sign two blocks from one author in one round).
+//! Within a round each author *normally* holds one certificate — quorum
+//! intersection makes equivocation at the certificate level impossible as
+//! long as honest validators keep their vote locks (two certificates for
+//! the same `(round, author)` would require an honest validator to sign two
+//! blocks from one author in one round). But a Byzantine author colluding
+//! with crashed-and-amnesiac voters *can* certify twins, and the DAG must
+//! not wedge when it happens: a slot accepts up to two distinct-digest
+//! certificates per `(round, author)` so that honest children referencing
+//! either twin by digest always find their parent (dropping the second
+//! twin would leave its digest permanently unresolvable and suspend every
+//! descendant forever — found by the Byzantine `sim_fuzz` corpus). Quorum
+//! counting ([`Dag::round_size`]) stays per *author*, so an equivocator
+//! never contributes twice to round advancement.
 //!
 //! The structure also implements the graph queries consensus needs: strong
 //! path existence (Tusk's commit rule), support counting (blocks of round
@@ -42,7 +51,8 @@ use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 pub enum InsertOutcome {
     /// The certificate extended the DAG.
     Inserted,
-    /// Already present (same `(round, author)`).
+    /// Already present (same header digest), or the `(round, author)` slot
+    /// already holds two equivocation twins (the cap; see module docs).
     Duplicate,
     /// Below the first retained round; ignored (§3.3).
     BelowGc,
@@ -111,12 +121,21 @@ impl Dag {
             return InsertOutcome::BelowGc;
         }
         let author = cert.origin();
-        let slots = self.rounds.entry(round).or_default();
-        let pos = match slots.binary_search_by_key(&author, |(a, _)| *a) {
-            Ok(_) => return InsertOutcome::Duplicate,
-            Err(pos) => pos,
-        };
         let digest = cert.header_digest();
+        if self.by_digest.contains_key(&digest) {
+            return InsertOutcome::Duplicate;
+        }
+        let slots = self.rounds.entry(round).or_default();
+        // The slot's author run: `rounds` lists stay sorted by author, with
+        // equivocation twins adjacent. Two twins are the cap — certifying a
+        // third would take more colluding double-voters than `f` Byzantine
+        // validators can muster — so the run is at most 2 long.
+        let start = slots.partition_point(|(a, _)| *a < author);
+        let run = slots[start..].iter().take_while(|(a, _)| *a == author);
+        if run.count() >= 2 {
+            return InsertOutcome::Duplicate;
+        }
+        let pos = slots[start..].partition_point(|(a, _)| *a == author) + start;
         let id = CertId(self.slab.len() as u32);
         slots.insert(pos, (author, id));
         let parents: Vec<Option<CertId>> = cert
@@ -155,11 +174,13 @@ impl Dag {
 
     fn id_at(&self, round: Round, author: ValidatorId) -> Option<CertId> {
         let slots = self.rounds.get(&round)?;
-        let pos = slots.binary_search_by_key(&author, |(a, _)| *a).ok()?;
-        Some(slots[pos].1)
+        let pos = slots.partition_point(|(a, _)| *a < author);
+        let (a, id) = slots.get(pos)?;
+        (*a == author).then_some(*id)
     }
 
-    /// The certificate of `author` at `round`, if any.
+    /// The certificate of `author` at `round`, if any — the first-arrived
+    /// one when the author equivocated (deterministic: insertion order).
     pub fn get(&self, round: Round, author: ValidatorId) -> Option<&Certificate> {
         self.id_at(round, author).map(|id| &self.slot(id).cert)
     }
@@ -174,9 +195,21 @@ impl Dag {
         self.by_digest.contains_key(digest)
     }
 
-    /// Number of certificates in `round`.
+    /// Number of *distinct authors* certified in `round`. Equivocation
+    /// twins count once: quorum checks (round advancement, recovery) must
+    /// never let a Byzantine author stand in for two validators.
     pub fn round_size(&self, round: Round) -> usize {
-        self.rounds.get(&round).map_or(0, Vec::len)
+        self.rounds.get(&round).map_or(0, |slots| {
+            let mut distinct = 0;
+            let mut last = None;
+            for (a, _) in slots {
+                if last != Some(*a) {
+                    distinct += 1;
+                    last = Some(*a);
+                }
+            }
+            distinct
+        })
     }
 
     /// Iterates the certificates of `round` in author order.
@@ -383,7 +416,10 @@ impl Dag {
             .into_iter()
             .map(|id| self.slot(id).cert.clone())
             .collect();
-        out.sort_by_key(|c| (c.round(), c.origin()));
+        // The digest tiebreak only matters for equivocation twins sharing a
+        // `(round, author)` slot: without it their relative order would be
+        // local arrival order, and validators would fork on it.
+        out.sort_by_key(|c| (c.round(), c.origin(), c.header_digest()));
         Ok(out)
     }
 
@@ -511,7 +547,17 @@ impl Dag {
             assert!(*round >= self.first_retained);
             assert!(!slots.is_empty(), "no empty round lists survive");
             for w in slots.windows(2) {
-                assert!(w[0].0 < w[1].0, "round lists sorted by author");
+                assert!(w[0].0 <= w[1].0, "round lists sorted by author");
+                if w[0].0 == w[1].0 {
+                    assert_ne!(
+                        self.slot(w[0].1).digest,
+                        self.slot(w[1].1).digest,
+                        "twins in a slot are distinct blocks"
+                    );
+                }
+            }
+            for run in slots.chunk_by(|a, b| a.0 == b.0) {
+                assert!(run.len() <= 2, "at most two twins per (round, author)");
             }
             for (author, id) in slots {
                 let slot = self.slot(*id);
@@ -683,6 +729,92 @@ mod tests {
         let cert = dag.get(1, ValidatorId(0)).unwrap().clone();
         assert_eq!(dag.insert(cert), InsertOutcome::Duplicate);
         dag.check_invariants();
+    }
+
+    fn certify(committee: &Committee, kps: &[KeyPair], header: Header) -> Certificate {
+        let votes: Vec<Vote> = kps
+            .iter()
+            .enumerate()
+            .map(|(j, vkp)| {
+                Vote::new(
+                    vkp,
+                    ValidatorId(j as u32),
+                    header.digest(),
+                    header.round,
+                    header.author,
+                )
+            })
+            .collect();
+        Certificate::from_votes(committee, header, &votes).expect("quorum")
+    }
+
+    #[test]
+    fn equivocation_twins_share_a_slot_without_double_counting() {
+        let (committee, kps, mut dag) = full_dag(4, 1);
+        let first = dag.get(1, ValidatorId(0)).unwrap().clone();
+        let twin_header = first.header.twin(&kps[0]);
+        let twin = certify(&committee, &kps, twin_header);
+
+        assert_eq!(dag.insert(twin.clone()), InsertOutcome::Inserted);
+        dag.check_invariants();
+        // Both twins are reachable by digest — children referencing either
+        // one must never wedge on an unresolvable parent.
+        assert!(dag.contains_digest(&first.header_digest()));
+        assert!(dag.contains_digest(&twin.header_digest()));
+        // But the author still counts once toward the round's quorum.
+        assert_eq!(dag.round_size(1), 4);
+        assert_eq!(dag.len(), 4 + 4 + 1);
+        // Slot lookup stays deterministic: the first-arrived twin wins.
+        assert_eq!(
+            dag.get(1, ValidatorId(0)).unwrap().header_digest(),
+            first.header_digest()
+        );
+        // Re-inserting either twin is a duplicate, and a third distinct
+        // block for the slot is capped. (The twin of a twin is the original
+        // block again — the coin-share flip is an involution — so the third
+        // block varies the payload instead.)
+        assert_eq!(dag.insert(twin.clone()), InsertOutcome::Duplicate);
+        let third_header = Header::new(
+            &kps[0],
+            ValidatorId(0),
+            1,
+            vec![(Digest::of(b"third"), nt_types::WorkerId(0))],
+            first.header.parents.clone(),
+            None,
+        );
+        let third = certify(&committee, &kps, third_header);
+        assert_ne!(third.header_digest(), first.header_digest());
+        assert_ne!(third.header_digest(), twin.header_digest());
+        assert_eq!(dag.insert(third), InsertOutcome::Duplicate);
+        dag.check_invariants();
+    }
+
+    #[test]
+    fn children_of_a_late_twin_resolve_and_commit() {
+        // A child referencing the *second* twin arrives before that twin:
+        // the edge must resolve on the twin's arrival exactly like any late
+        // parent, and history collection must traverse it.
+        let (committee, kps, mut dag) = full_dag(4, 1);
+        let first = dag.get(1, ValidatorId(0)).unwrap().clone();
+        let twin = certify(&committee, &kps, first.header.twin(&kps[0]));
+
+        let mut parents: Vec<Digest> = dag.round_certs(1).map(|c| c.header_digest()).collect();
+        parents[0] = twin.header_digest(); // reference the twin, not the original
+        let child_header = Header::new(&kps[1], ValidatorId(1), 2, vec![], parents, None);
+        let child = certify(&committee, &kps, child_header);
+
+        assert_eq!(dag.insert(child.clone()), InsertOutcome::Inserted);
+        assert_eq!(dag.missing_parents(&child), vec![twin.header_digest()]);
+        assert_eq!(dag.insert(twin.clone()), InsertOutcome::Inserted);
+        dag.check_invariants();
+        assert!(dag.missing_parents(&child).is_empty());
+        assert!(dag.path_exists(&child, &twin));
+        let history = dag
+            .collect_history(&child, &HashSet::new())
+            .expect("twin parent resolved");
+        assert!(history
+            .iter()
+            .any(|c| c.header_digest() == twin.header_digest()));
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! - [`deployment`]: host layout shared by the simulator and local runtime.
 //! - [`config`]: tunable parameters with the paper's defaults.
 
+pub mod adversary;
 pub mod config;
 pub mod consensus;
 pub mod dag;
@@ -38,6 +39,7 @@ pub mod primary;
 pub mod store;
 pub mod worker;
 
+pub use adversary::{AdversaryKind, Byzantine, ADVERSARY_TAG_BASE};
 pub use config::{NarwhalConfig, SelfTestBugs, SyntheticLoad};
 pub use consensus::{ConsensusOut, DagConsensus, NoConsensus, NoExt};
 pub use dag::{CertId, Dag, DagView, InsertOutcome};

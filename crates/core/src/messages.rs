@@ -9,7 +9,7 @@ use nt_codec::{Decode, DecodeError, Encode, Reader};
 use nt_crypto::Digest;
 use nt_execution::{SnapshotBase, SnapshotManifest, SnapshotSig};
 use nt_types::{
-    Batch, Certificate, Header, Transaction, TxSample, ValidatorId, Vote, WireSize, WorkerId,
+    Batch, Certificate, Header, Round, Transaction, TxSample, ValidatorId, Vote, WireSize, WorkerId,
 };
 
 /// Metadata a worker reports to its primary about a stored batch.
@@ -47,6 +47,19 @@ pub enum NarwhalMsg<Ext> {
     CertResponse {
         /// The certificates found.
         certs: Vec<Certificate>,
+    },
+    /// Pull request for every certificate in a round range (§4.1's batched
+    /// catch-up): a validator that finds itself several rounds behind the
+    /// committee closes the whole gap in one round-trip instead of
+    /// discovering ancestry one suspended parent — one network round-trip —
+    /// per DAG round. The responder answers with a [`NarwhalMsg::CertResponse`]
+    /// carrying its retained certificates for `from..=to` in ascending round
+    /// order (capped, so a malicious range cannot request unbounded work).
+    CertRangeRequest {
+        /// First round wanted.
+        from: Round,
+        /// Last round wanted (inclusive; the responder may cap it).
+        to: Round,
     },
     /// A transaction batch streamed between workers (§4.2).
     Batch(Batch),
@@ -129,6 +142,7 @@ impl<Ext> NarwhalMsg<Ext> {
             NarwhalMsg::Vote(_) => 32 + 9 + 4 + 4 + 64,
             NarwhalMsg::Certificate(c) => c.header.wire_size() + 2 + 68 * c.votes.len(),
             NarwhalMsg::CertRequest { digests } => 8 + 32 * digests.len(),
+            NarwhalMsg::CertRangeRequest { .. } => 16,
             NarwhalMsg::CertResponse { certs } => {
                 8 + certs
                     .iter()
@@ -258,6 +272,7 @@ const TAG_EXT: u64 = 12;
 const TAG_SNAPSHOT_VOTE: u64 = 13;
 const TAG_SNAPSHOT_REQUEST: u64 = 14;
 const TAG_SNAPSHOT_RESPONSE: u64 = 15;
+const TAG_CERT_RANGE_REQUEST: u64 = 16;
 
 impl<Ext: Encode> Encode for NarwhalMsg<Ext> {
     fn encode(&self, buf: &mut Vec<u8>) {
@@ -281,6 +296,11 @@ impl<Ext: Encode> Encode for NarwhalMsg<Ext> {
             NarwhalMsg::CertResponse { certs } => {
                 nt_codec::put_varint(buf, TAG_CERT_RESPONSE);
                 certs.encode(buf);
+            }
+            NarwhalMsg::CertRangeRequest { from, to } => {
+                nt_codec::put_varint(buf, TAG_CERT_RANGE_REQUEST);
+                from.encode(buf);
+                to.encode(buf);
             }
             NarwhalMsg::Batch(b) => {
                 nt_codec::put_varint(buf, TAG_BATCH);
@@ -367,6 +387,10 @@ impl<Ext: Decode> Decode for NarwhalMsg<Ext> {
             },
             TAG_CERT_RESPONSE => NarwhalMsg::CertResponse {
                 certs: Vec::<Certificate>::decode(reader)?,
+            },
+            TAG_CERT_RANGE_REQUEST => NarwhalMsg::CertRangeRequest {
+                from: Round::decode(reader)?,
+                to: Round::decode(reader)?,
             },
             TAG_BATCH => NarwhalMsg::Batch(Batch::decode(reader)?),
             TAG_BATCH_ACK => NarwhalMsg::BatchAck {
@@ -540,6 +564,7 @@ mod tests {
                 digests: vec![Digest::of(b"a"), Digest::of(b"b")],
             },
             NarwhalMsg::CertResponse { certs: vec![cert] },
+            NarwhalMsg::CertRangeRequest { from: 9, to: 41 },
             NarwhalMsg::Batch(batch.clone()),
             NarwhalMsg::BatchAck {
                 digest: batch.digest(),

@@ -39,6 +39,15 @@ use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 const TAG_PROPOSE: u64 = 1;
 const TAG_RETRY: u64 = 2;
+/// A verified certificate this many rounds above the local round proves the
+/// committee has moved on without us; trigger a batched round-range pull
+/// (§4.1 catch-up) instead of walking ancestry one suspended-parent
+/// round-trip per DAG round.
+const RANGE_PULL_LAG: Round = 5;
+/// Rounds served per range response: bounds the responder's work and the
+/// response size against malicious (or merely enormous) ranges; the
+/// requester re-pulls as its round advances.
+const RANGE_PULL_MAX_ROUNDS: Round = 32;
 /// Consensus timer tags are namespaced above this base.
 const CONSENSUS_TAG_BASE: u64 = 1 << 32;
 
@@ -164,6 +173,11 @@ pub struct Primary<C: DagConsensus> {
     snapshot_votes: BTreeMap<u64, Vec<(Digest, SnapshotSig)>>,
     /// In-flight state transfer, when we are beyond the sync horizon.
     snapshot_fetch: Option<SnapshotFetch>,
+    /// Batched catch-up: when the last round-range pull left, and the
+    /// rotation counter choosing its target (a dead or Byzantine peer costs
+    /// one retry interval, not the whole recovery).
+    range_pull_last: Time,
+    range_pull_attempts: u32,
 }
 
 impl<C: DagConsensus> Primary<C> {
@@ -256,6 +270,8 @@ impl<C: DagConsensus> Primary<C> {
             snapshot_app: None,
             snapshot_votes: BTreeMap::new(),
             snapshot_fetch: None,
+            range_pull_last: 0,
+            range_pull_attempts: 0,
         }
     }
 
@@ -416,6 +432,7 @@ impl<C: DagConsensus> Primary<C> {
                 round: cert.round(),
                 author: cert.origin(),
                 payload: cert.header.payload.clone(),
+                header_digest: *digest,
                 ..Default::default()
             };
             self.exec_backlog.push_back((event, false));
@@ -600,6 +617,7 @@ impl<C: DagConsensus> Primary<C> {
             decided_round: self.dag.highest_round(),
             direct_commits,
             indirect_commits,
+            header_digest: digest,
             ..Default::default()
         };
         if cert.origin() == self.me {
@@ -1560,6 +1578,56 @@ impl<C: DagConsensus> Primary<C> {
         );
     }
 
+    /// Batched §4.1 catch-up: a verified certificate more than
+    /// [`RANGE_PULL_LAG`] rounds above the local round proves the committee
+    /// has moved on, so pull the whole missing round range in one request.
+    /// Without this, recovery walks ancestry one suspended parent — one
+    /// network round-trip — per DAG round, and a validator restarting a few
+    /// dozen rounds behind burns seconds it may not have before the run (or
+    /// its peers' patience) ends; a Byzantine equivocator's header spam
+    /// makes the walk strictly worse. Rate-limited by `sync_retry_delay`
+    /// and target-rotated like digest pulls.
+    fn maybe_range_pull(&mut self, cert: &Certificate, ctx: &mut Context<NarwhalMsg<C::Ext>>) {
+        // The range pull is part of §4.1 pull synchronization; the
+        // `disable_cert_pull` self-test arm must take down both sync paths
+        // or the checkers would never see the stall it exists to prove.
+        if self.config.bugs.disable_cert_pull {
+            return;
+        }
+        if cert.round() <= self.round + RANGE_PULL_LAG {
+            return;
+        }
+        let now = ctx.now();
+        if now.saturating_sub(self.range_pull_last) < self.config.sync_retry_delay
+            && self.range_pull_attempts > 0
+        {
+            return;
+        }
+        self.range_pull_last = now;
+        let n = self.committee.size() as u32;
+        let mut target = ValidatorId((cert.origin().0 + self.range_pull_attempts) % n);
+        if target == self.me {
+            target = ValidatorId((target.0 + 1) % n);
+        }
+        self.range_pull_attempts += 1;
+        // Start two rounds below the local round: the local quorum that
+        // advanced us here need not be the quorum our suspended descendants
+        // reference, so the immediately preceding rounds can still have
+        // holes only the range response fills in one shot.
+        let from = self
+            .round
+            .saturating_sub(2)
+            .max(self.dag.first_retained_round())
+            .max(1);
+        ctx.send(
+            self.addr.primary(target),
+            NarwhalMsg::CertRangeRequest {
+                from,
+                to: cert.round(),
+            },
+        );
+    }
+
     /// Starts a snapshot state transfer when a verified certificate proves
     /// the committee is beyond our pull-sync horizon: per-certificate §4.1
     /// sync cannot close a gap wider than `gc_depth` (peers pruned it).
@@ -1903,6 +1971,7 @@ impl<C: DagConsensus> Actor for Primary<C> {
                     && cert.verify(&self.committee).is_ok() =>
             {
                 self.maybe_trigger_state_transfer(&cert, ctx);
+                self.maybe_range_pull(&cert, ctx);
                 self.process_certificate(cert, ctx);
             }
             NarwhalMsg::CertRequest { digests } => {
@@ -1910,6 +1979,22 @@ impl<C: DagConsensus> Actor for Primary<C> {
                     .iter()
                     .filter_map(|d| self.dag.get_by_digest(d).cloned())
                     .collect();
+                if !certs.is_empty() {
+                    ctx.send(from, NarwhalMsg::CertResponse { certs });
+                }
+            }
+            NarwhalMsg::CertRangeRequest { from: lo, to: hi } => {
+                // Serve ascending rounds so the requester's insertions
+                // cascade without re-suspending; the cap bounds our work no
+                // matter what range was asked for.
+                let lo = lo.max(self.dag.first_retained_round()).max(1);
+                let hi = hi
+                    .min(lo.saturating_add(RANGE_PULL_MAX_ROUNDS - 1))
+                    .min(self.dag.highest_round());
+                let mut certs = Vec::new();
+                for round in lo..=hi {
+                    certs.extend(self.dag.round_certs(round).cloned());
+                }
                 if !certs.is_empty() {
                     ctx.send(from, NarwhalMsg::CertResponse { certs });
                 }

@@ -66,6 +66,23 @@ pub enum FaultEvent {
         /// Additional one-way delay.
         extra: Time,
     },
+    /// Links between the *worker* hosts of units `a` and `b` carry `extra`
+    /// additional one-way delay during `[from, until)`. The primary-primary
+    /// link is untouched, so the DAG keeps certifying while batch
+    /// dissemination between the two units lags behind it — the scale-out
+    /// bottleneck surface (§4.2) that uniform spikes can't isolate.
+    WorkerSpike {
+        /// One endpoint unit.
+        a: u32,
+        /// The other endpoint unit.
+        b: u32,
+        /// Spike start (inclusive).
+        from: Time,
+        /// Spike end (exclusive).
+        until: Time,
+        /// Additional one-way delay.
+        extra: Time,
+    },
 }
 
 impl FaultEvent {
@@ -75,6 +92,7 @@ impl FaultEvent {
             FaultEvent::Outage { at, until, .. } => (*at, *until),
             FaultEvent::Split { from, until, .. } => (*from, *until),
             FaultEvent::Spike { from, until, .. } => (*from, *until),
+            FaultEvent::WorkerSpike { from, until, .. } => (*from, *until),
         }
     }
 
@@ -162,6 +180,32 @@ impl FaultEvent {
                     });
                 }
             }
+            FaultEvent::WorkerSpike {
+                a,
+                b,
+                from,
+                until,
+                extra,
+            } => {
+                if let Some(mid) = halve(*from, *until) {
+                    out.push(FaultEvent::WorkerSpike {
+                        a: *a,
+                        b: *b,
+                        from: *from,
+                        until: mid,
+                        extra: *extra,
+                    });
+                }
+                if *extra >= 2 * MS {
+                    out.push(FaultEvent::WorkerSpike {
+                        a: *a,
+                        b: *b,
+                        from: *from,
+                        until: *until,
+                        extra: extra / 2 / MS * MS,
+                    });
+                }
+            }
         }
         out
     }
@@ -198,6 +242,18 @@ impl FaultEvent {
                 extra,
             } => format!(
                 "FaultEvent::Spike {{ a: {a}, b: {b}, from: {}, until: {}, extra: {} }}",
+                ms(*from),
+                ms(*until),
+                ms(*extra)
+            ),
+            FaultEvent::WorkerSpike {
+                a,
+                b,
+                from,
+                until,
+                extra,
+            } => format!(
+                "FaultEvent::WorkerSpike {{ a: {a}, b: {b}, from: {}, until: {}, extra: {} }}",
                 ms(*from),
                 ms(*until),
                 ms(*extra)
@@ -248,6 +304,11 @@ pub struct FuzzPlan {
     /// time; snapshot-capable runs may exceed it (the laggard recovers via
     /// a signed snapshot instead of per-certificate sync).
     pub fault_mass: Time,
+    /// Allow [`FaultEvent::WorkerSpike`] events (half of sampled spikes
+    /// become worker-only). Off by default: legacy plans must keep
+    /// generating byte-identical schedules per seed, because shrunk
+    /// reproducers pin `(seed, schedule)` pairs.
+    pub worker_spikes: bool,
 }
 
 impl FuzzPlan {
@@ -267,6 +328,7 @@ impl FuzzPlan {
             unit_outage_gap: 3 * sec,
             unit_downtime: 5 * sec,
             fault_mass: 9 * sec,
+            worker_spikes: false,
         }
     }
 }
@@ -373,12 +435,25 @@ impl Schedule {
                     b += 1;
                 }
                 let extra = rng.random_range_u64(50, 800) * MS;
-                FaultEvent::Spike {
-                    a: a.min(b),
-                    b: a.max(b),
-                    from,
-                    until,
-                    extra,
+                let (a, b) = (a.min(b), a.max(b));
+                // The short-circuit keeps legacy plans off this draw, so
+                // their seeds still map to byte-identical schedules.
+                if plan.worker_spikes && rng.random_bool(0.5) {
+                    FaultEvent::WorkerSpike {
+                        a,
+                        b,
+                        from,
+                        until,
+                        extra,
+                    }
+                } else {
+                    FaultEvent::Spike {
+                        a,
+                        b,
+                        from,
+                        until,
+                        extra,
+                    }
                 }
             } else {
                 continue;
@@ -429,6 +504,27 @@ impl Schedule {
                 } => {
                     for &x in &unit_hosts[*a as usize] {
                         for &y in &unit_hosts[*b as usize] {
+                            config.spikes.push(LinkSpike {
+                                a: x,
+                                b: y,
+                                from: *from,
+                                until: *until,
+                                extra: *extra,
+                            });
+                        }
+                    }
+                }
+                FaultEvent::WorkerSpike {
+                    a,
+                    b,
+                    from,
+                    until,
+                    extra,
+                } => {
+                    // A unit's host list is primary-first; only the worker
+                    // tails get the spike.
+                    for &x in &unit_hosts[*a as usize][1..] {
+                        for &y in &unit_hosts[*b as usize][1..] {
                             config.spikes.push(LinkSpike {
                                 a: x,
                                 b: y,
@@ -614,6 +710,9 @@ mod tests {
                     FaultEvent::Spike { a, b, .. } => {
                         assert!(a < b && *b < plan.units, "canonical distinct pair");
                     }
+                    FaultEvent::WorkerSpike { a, b, .. } => {
+                        assert!(a < b && *b < plan.units, "canonical distinct pair");
+                    }
                 }
             }
             assert!(mass <= plan.fault_mass, "seed {seed}: fault mass {mass}");
@@ -661,6 +760,9 @@ mod tests {
                     }
                     FaultEvent::Split { .. } => splits += 1,
                     FaultEvent::Spike { .. } => spikes += 1,
+                    FaultEvent::WorkerSpike { .. } => {
+                        panic!("worker spikes are opt-in; this plan never enables them")
+                    }
                 }
             }
         }
@@ -668,6 +770,33 @@ mod tests {
         assert!(tears > 10, "torn tails: {tears}");
         assert!(splits > 20, "splits: {splits}");
         assert!(spikes > 20, "spikes: {spikes}");
+    }
+
+    #[test]
+    fn worker_spikes_are_opt_in_and_leave_legacy_seeds_untouched() {
+        let legacy = plan();
+        let mut opted = plan();
+        opted.worker_spikes = true;
+        let mut worker_spikes = 0;
+        for seed in 0..100u64 {
+            // The flag only costs an extra coin flip on the spike branch:
+            // schedules that never took that branch are event-for-event
+            // identical to the legacy plan's.
+            let opted_schedule = Schedule::generate(seed, &opted);
+            if !opted_schedule
+                .events
+                .iter()
+                .any(|e| matches!(e, FaultEvent::Spike { .. } | FaultEvent::WorkerSpike { .. }))
+            {
+                assert_eq!(opted_schedule, Schedule::generate(seed, &legacy));
+            }
+            worker_spikes += opted_schedule
+                .events
+                .iter()
+                .filter(|e| matches!(e, FaultEvent::WorkerSpike { .. }))
+                .count();
+        }
+        assert!(worker_spikes > 10, "worker spikes: {worker_spikes}");
     }
 
     #[test]
@@ -692,6 +821,13 @@ mod tests {
                     until: 7 * SEC,
                     extra: 100 * MS,
                 },
+                FaultEvent::WorkerSpike {
+                    a: 0,
+                    b: 1,
+                    from: 8 * SEC,
+                    until: 9 * SEC,
+                    extra: 200 * MS,
+                },
             ],
         };
         // Unit 0 = hosts {0, 2}, unit 1 = hosts {1, 3} (primary + worker).
@@ -703,10 +839,16 @@ mod tests {
         assert_eq!(config.partitions.len(), 1);
         assert_eq!(config.partitions[0].group_a, vec![0, 2]);
         assert_eq!(config.partitions[0].group_b, vec![1, 3]);
-        assert_eq!(config.spikes.len(), 4, "all host pairs of the two units");
+        assert_eq!(config.spikes.len(), 5, "4 full-mesh pairs + 1 worker pair");
+        let worker_spike = config.spikes.last().unwrap();
+        assert_eq!(
+            (worker_spike.a, worker_spike.b),
+            (2, 3),
+            "worker spike touches the worker hosts only"
+        );
         assert_eq!(schedule.tears(), vec![(1, 3 * SEC, 4)]);
         assert_eq!(schedule.restarts_of(1), vec![3 * SEC]);
-        assert_eq!(schedule.last_fault_time(), 7 * SEC);
+        assert_eq!(schedule.last_fault_time(), 9 * SEC);
     }
 
     #[test]

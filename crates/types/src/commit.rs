@@ -50,6 +50,12 @@ pub struct CommitEvent {
     /// attached execution engine. Zero when no engine is attached: the
     /// mempool/consensus layers never interpret it.
     pub app_root: Digest,
+    /// Digest of the committed block's header. `(round, author)` does not
+    /// identify a block when the creator equivocates — two validly-signed
+    /// twins can occupy the same slot — so safety checkers compare commits
+    /// by digest. Zero for events replayed from storage paths that predate
+    /// the field (the checkers treat zero as "unknown").
+    pub header_digest: Digest,
 }
 
 impl CommitEvent {

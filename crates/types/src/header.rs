@@ -98,6 +98,30 @@ impl Header {
         committee.public_key(self.author)
     }
 
+    /// A signed *equivocation twin* of this block: same author, round,
+    /// payload, and parents, but a different digest — the optional coin
+    /// share is flipped (dropped if present, minted if absent; the share
+    /// is hashed, so the digest moves) and the result is re-signed.
+    ///
+    /// Both twins pass [`Header::verify`]: the coin share is only checked
+    /// when present, so a Byzantine creator can offer each half of the
+    /// committee a different valid block for the same `(round, author)`
+    /// slot. The fuzzer's equivocation adversary is built on this.
+    pub fn twin(&self, keypair: &KeyPair) -> Header {
+        let coin_share = match &self.coin_share {
+            Some(_) => None,
+            None => Some(CoinShare::new(keypair, self.round)),
+        };
+        Header::new(
+            keypair,
+            self.author,
+            self.round,
+            self.payload.clone(),
+            self.parents.clone(),
+            coin_share,
+        )
+    }
+
     /// The deterministic genesis block of `author` (round 0, empty, unsigned).
     ///
     /// Genesis blocks are valid by construction: every validator can
@@ -284,6 +308,27 @@ mod tests {
         h.author = ValidatorId(1);
         h.signature = kps[0].sign_digest(&h.digest());
         assert_eq!(h.verify(&c), Err(HeaderError::InvalidSignature));
+    }
+
+    #[test]
+    fn twin_is_a_distinct_valid_block_for_the_same_slot() {
+        let (c, kps) = setup();
+        let mut h = make_header(&c, &kps[0], 1);
+        h.coin_share = Some(CoinShare::new(&kps[0], 1));
+        h.signature = kps[0].sign_digest(&h.digest());
+        assert_eq!(h.verify(&c), Ok(()));
+
+        let t = h.twin(&kps[0]);
+        assert_eq!(t.verify(&c), Ok(()), "the twin must be validly signed");
+        assert_eq!((t.author, t.round), (h.author, h.round));
+        assert_eq!(t.payload, h.payload);
+        assert_eq!(t.parents, h.parents);
+        assert_ne!(t.digest(), h.digest(), "the twin must be a different block");
+
+        // Flipping back mints a share again: still valid, still distinct.
+        let tt = t.twin(&kps[0]);
+        assert_eq!(tt.verify(&c), Ok(()));
+        assert_ne!(tt.digest(), t.digest());
     }
 
     #[test]

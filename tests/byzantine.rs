@@ -195,24 +195,53 @@ fn equivocation_cannot_produce_two_certificates() {
         vote(&kps[1], 1, &block_b),
         vote(&kps[2], 2, &block_b),
     ];
-    let cert_a = Certificate::from_votes(&committee, block_a, &votes_a);
+    let cert_a = Certificate::from_votes(&committee, block_a.clone(), &votes_a);
     let cert_b = Certificate::from_votes(&committee, block_b, &votes_b);
     // Both *can* form only because 2 of 4 validators are Byzantine here —
     // above the f=1 the committee tolerates. With at most f Byzantine
-    // voters, at most one block per (round, creator) can be certified; the
-    // DAG enforces first-wins on the slot either way.
+    // voters, at most one block per (round, creator) can be certified. When
+    // over-f collusion *does* certify twins, the DAG must retain both:
+    // honest peers hold certificates referencing either digest, and
+    // dropping the second twin as a duplicate leaves those references
+    // permanently unresolvable (the recovery wedge the schedule fuzzer
+    // found; see `fuzz_regression_certified_twins_do_not_wedge_honest_
+    // validators`). The slot is capped at two distinct digests, so the
+    // adversary still cannot grow the DAG without bound.
     let mut dag = Dag::new();
     dag.insert_genesis(Certificate::genesis_set(&committee));
-    if let Some(a) = cert_a {
-        assert_eq!(dag.insert(a), InsertOutcome::Inserted);
-    }
-    if let Some(b) = cert_b {
-        assert_eq!(
-            dag.insert(b),
-            InsertOutcome::Duplicate,
-            "one slot per (round, author)"
-        );
-    }
+    let a = cert_a.expect("quorum of signatures assembles");
+    let b = cert_b.expect("quorum of signatures assembles");
+    assert_eq!(dag.insert(a.clone()), InsertOutcome::Inserted);
+    assert_eq!(
+        dag.insert(b),
+        InsertOutcome::Inserted,
+        "the certified twin is retained so references to it stay resolvable"
+    );
+    assert_eq!(
+        dag.insert(a),
+        InsertOutcome::Duplicate,
+        "re-delivery of a known certificate is still a duplicate"
+    );
+    // A third distinct block for the same (round, author) slot is refused.
+    let block_c = Header::new(
+        &kps[1],
+        ValidatorId(1),
+        1,
+        vec![(Digest::of(b"third twin"), WorkerId(0))],
+        block_a.parents.clone(),
+        None,
+    );
+    let votes_c = vec![
+        vote(&kps[1], 1, &block_c),
+        vote(&kps[2], 2, &block_c),
+        vote(&kps[3], 3, &block_c),
+    ];
+    let c = Certificate::from_votes(&committee, block_c, &votes_c).expect("quorum");
+    assert_eq!(
+        dag.insert(c),
+        InsertOutcome::Duplicate,
+        "the slot holds at most two distinct digests"
+    );
 }
 
 #[test]

@@ -244,3 +244,106 @@ fn fuzz_regression_seed_219_torn_certificate() {
         broken.violations
     );
 }
+
+/// Byzantine corpus reproducer, seed 14 (16 validators, Bullshark): an
+/// equivocating validator plus an honest validator's mid-run crash with a
+/// torn tail. The restarted validator came back ~26 rounds behind and
+/// per-certificate sync walked the gap one suspended parent — one network
+/// round-trip — per DAG round, while the equivocator's twin-header
+/// retransmissions piled more pending lookups on top; recovery crawled
+/// past the fault-free tail and tail-liveness fired (with the full
+/// five-adversary coalition of the corpus case, the validator never
+/// recovered at all and catch-up fired too). Fixed by the batched §4.1
+/// round-range pull (`NarwhalMsg::CertRangeRequest`): a verified
+/// certificate several rounds above the local round triggers one request
+/// for the whole missing range, closing the gap in a round-trip or two.
+/// Verified failing-before/passing-after against the range-pull change.
+#[test]
+fn fuzz_regression_byz_seed_14_recovery_crawl() {
+    use narwhal_tusk::bench::fuzz::{corpus_params, run_schedule_byz};
+    use narwhal_tusk::narwhal::AdversaryKind;
+    use narwhal_tusk::types::ValidatorId;
+
+    let schedule = Schedule {
+        events: vec![
+            FaultEvent::Spike {
+                a: 4,
+                b: 14,
+                from: 4860 * MS,
+                until: 10057 * MS,
+                extra: 328 * MS,
+            },
+            FaultEvent::Outage {
+                unit: 8,
+                at: 3109 * MS,
+                until: 13467 * MS,
+                tear: 11,
+            },
+            FaultEvent::Spike {
+                a: 13,
+                b: 14,
+                from: 1484 * MS,
+                until: 1767 * MS,
+                extra: 758 * MS,
+            },
+        ],
+    };
+    let outcome = run_schedule_byz(
+        System::Bullshark,
+        &corpus_params(14),
+        &schedule,
+        Default::default(),
+        &[(ValidatorId(13), AdversaryKind::Equivocate)],
+    );
+    assert!(outcome.violations.is_empty(), "{:#?}", outcome.violations);
+    assert!(
+        outcome.snapshot_installs[8].is_empty(),
+        "the range pull must beat the snapshot path to the recovery: {:?}",
+        outcome.snapshot_installs[8]
+    );
+}
+
+/// Byzantine reproducer: certified equivocation twins in honest DAGs.
+///
+/// An equivocator colluding with a vote-amnesiac accomplice (an over-`f`
+/// coalition on four validators) certifies *both* twins of its round-1
+/// block. The DAG used to key slots by `(round, author)` and drop the
+/// second twin as a duplicate — leaving its digest permanently
+/// unresolvable, so every honest block referencing that twin as a parent
+/// suspended forever and the committee wedged. With the twin-slot cap
+/// (two distinct-digest certificates per slot, digest-tiebroken in
+/// `collect_history`) the honest validators stay live and in agreement;
+/// the double-committed payload itself is still reported, which is the
+/// batch-exactly-once hit asserted below — the attack's footprint, seen
+/// identically by every honest validator. Verified failing-before/
+/// passing-after against the twin-slot DAG change.
+#[test]
+fn fuzz_regression_certified_twins_do_not_wedge_honest_validators() {
+    use narwhal_tusk::bench::fuzz::run_schedule_byz;
+    use narwhal_tusk::bench::Checker;
+    use narwhal_tusk::narwhal::AdversaryKind;
+    use narwhal_tusk::types::ValidatorId;
+
+    let outcome = run_schedule_byz(
+        System::Tusk,
+        &fuzz_params(11),
+        &Schedule::default(),
+        Default::default(),
+        &[
+            (ValidatorId(0), AdversaryKind::Equivocate),
+            (ValidatorId(1), AdversaryKind::VoteAmnesia),
+        ],
+    );
+    assert!(
+        !outcome.violations.is_empty(),
+        "an over-f coalition must leave a detectable double commit"
+    );
+    assert!(
+        outcome
+            .violations
+            .iter()
+            .all(|v| v.checker == Checker::BatchExactlyOnce),
+        "honest validators must neither wedge nor diverge: {:#?}",
+        outcome.violations
+    );
+}
