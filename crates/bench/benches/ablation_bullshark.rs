@@ -10,8 +10,14 @@
 //! `Bullshark-Rep` arm swaps in the Shoal-style leader-reputation
 //! schedule.
 //!
+//! Two latency-frontier arms ride along: `Bullshark-Pipelined` (a Shoal-
+//! style anchor candidate every round) and `FinWhale` (a two-round
+//! terminating commit). Under synchrony the pipelined variant must decide
+//! at a strictly lower DAG depth than plain Bullshark, which in turn sits
+//! below Tusk — the `d-rnds` ordering this bench gates on.
+//!
 //! `-- --test` runs a small committee for a short window and asserts the
-//! two headline claims (CI smoke); the default run reproduces the full
+//! headline claims (CI smoke); the default run reproduces the full
 //! table.
 
 use nt_bench::runner::{build_dag_actors, run_actors_result, split_partition};
@@ -97,7 +103,13 @@ fn main() {
         if test_mode { " [test mode]" } else { "" }
     );
 
-    let systems = [System::Tusk, System::Bullshark, System::BullsharkRep];
+    let systems = [
+        System::Tusk,
+        System::Bullshark,
+        System::BullsharkRep,
+        System::BullsharkPipelined,
+        System::FinWhale,
+    ];
     for scenario in &SCENARIOS {
         let partitions = (scenario.partitions_for)(&params);
         let mut rows = Vec::new();
@@ -122,12 +134,14 @@ fn main() {
             scenario.name
         );
         if scenario.name == "synchrony" {
-            // `systems` order: rows[0] is Tusk, rows[1] Bullshark.
+            // `systems` order: rows[0] is Tusk, rows[1] Bullshark,
+            // rows[3] Bullshark-Pipelined.
             let tusk = &rows[0].1;
             let bull = &rows[1].1;
+            let pipelined = &rows[3].1;
             println!(
-                "   decision depth: Bullshark {:.1} rounds vs Tusk {:.1} rounds",
-                bull.decision_rounds, tusk.decision_rounds
+                "   decision depth: Pipelined {:.1} < Bullshark {:.1} < Tusk {:.1} rounds",
+                pipelined.decision_rounds, bull.decision_rounds, tusk.decision_rounds
             );
             assert!(
                 bull.decision_rounds < tusk.decision_rounds,
@@ -135,6 +149,13 @@ fn main() {
                  ({:.2} vs {:.2})",
                 bull.decision_rounds,
                 tusk.decision_rounds
+            );
+            assert!(
+                pipelined.decision_rounds < bull.decision_rounds,
+                "pipelined anchors must decide at a lower DAG depth than \
+                 plain Bullshark ({:.2} vs {:.2})",
+                pipelined.decision_rounds,
+                bull.decision_rounds
             );
             assert!(
                 bull.avg_latency_s < tusk.avg_latency_s,

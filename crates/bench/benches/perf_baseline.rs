@@ -2,20 +2,22 @@
 //!
 //! Usage (`cargo bench -p nt_bench --bench perf_baseline -- [flags]`):
 //!
-//! - (no flags): the full matrix (4 DAG systems × committees of 4/10/20,
-//!   30 s runs), written to `BENCH_8.json` at the repository root.
+//! - (no flags): the full matrix (6 DAG systems × committees of 4/10/20,
+//!   30 s runs), written to `BENCH_10.json` at the repository root.
 //! - `--test`: a quick one-committee matrix written to a scratch path and
 //!   sanity-checked — the CI smoke profile.
 //! - `--out PATH`: override the output path.
 //!
 //! Everything recorded is a simulated quantity, so the file is a
 //! deterministic function of the code: later PRs regenerate it and diff.
-//! When the previous issue's baseline (`BENCH_7.json`) is present, the run
-//! also prints a per-point delta table against it.
+//! The run also prints a per-point delta table against the *newest*
+//! baseline file present at the repository root — not blindly
+//! `BENCH_<ISSUE-1>.json`, since not every PR records one (issues 6 and 9
+//! didn't), and a silently skipped table looks like "no regressions".
 
 use nt_bench::baseline::{render_json, run_baseline, BaselineEntry};
 
-const ISSUE: u64 = 8;
+const ISSUE: u64 = 10;
 
 /// Pulls a numeric field out of one hand-rolled baseline entry line.
 fn field(line: &str, name: &str) -> Option<f64> {
@@ -24,12 +26,24 @@ fn field(line: &str, name: &str) -> Option<f64> {
     rest[..end].trim().parse().ok()
 }
 
-/// Prints throughput/latency deltas vs the previous issue's baseline file,
-/// matching points by (system, nodes). Missing file or unmatched points are
-/// skipped silently — the delta table is informational, the acceptance
-/// comparison happens in CI over the committed JSON.
+/// The newest committed baseline below this issue: scans the repository
+/// root for `BENCH_<n>.json` with `n < ISSUE` and returns the
+/// highest-numbered path. Issues without a recorded baseline (6, 9) make
+/// `BENCH_<ISSUE-1>.json` the wrong guess.
+fn newest_baseline(root: &str) -> Option<String> {
+    (0..ISSUE)
+        .rev()
+        .map(|n| format!("{root}/BENCH_{n}.json"))
+        .find(|path| std::path::Path::new(path).exists())
+}
+
+/// Prints throughput/latency deltas vs the given baseline file, matching
+/// points by (system, nodes). Unmatched points (e.g. systems newer than
+/// the baseline) are skipped — the delta table is informational, the
+/// acceptance comparison happens in CI over the committed JSON.
 fn print_deltas(entries: &[BaselineEntry], prev_path: &str) {
     let Ok(prev) = std::fs::read_to_string(prev_path) else {
+        println!("delta table skipped: {prev_path} unreadable");
         return;
     };
     println!("delta vs {prev_path}:");
@@ -103,7 +117,10 @@ fn main() {
         assert!(entry.stats.p99_latency_s > 0.0 && entry.stats.p99_latency_s < 30.0);
     }
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-    print_deltas(&entries, &format!("{root}/BENCH_{}.json", ISSUE - 1));
+    match newest_baseline(root) {
+        Some(prev) => print_deltas(&entries, &prev),
+        None => println!("delta table skipped: no BENCH_<n>.json at {root}"),
+    }
     std::fs::write(&out_path, &json).expect("write baseline json");
     println!(
         "wrote {} entries in {:.0}s",

@@ -65,7 +65,7 @@ fn run_corpus(start: u64, count: u64) -> (Vec<Failure>, String) {
                 if seed >= start + count {
                     return;
                 }
-                let system = fuzz::SYSTEMS[(seed % 4) as usize];
+                let system = fuzz::SYSTEMS[(seed % fuzz::SYSTEMS.len() as u64) as usize];
                 let (schedule, outcome) = run_case(system, seed);
                 {
                     let mut t = totals.lock().unwrap();
@@ -122,7 +122,7 @@ fn run_byz_corpus(start: u64, count: u64) -> Vec<Failure> {
                 if seed >= start + count {
                     return;
                 }
-                let system = fuzz::SYSTEMS[(seed % 4) as usize];
+                let system = fuzz::SYSTEMS[(seed % fuzz::SYSTEMS.len() as u64) as usize];
                 let (schedule, byz, outcome) = run_byz_case(system, seed);
                 if !outcome.violations.is_empty() {
                     println!();

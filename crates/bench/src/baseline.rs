@@ -22,7 +22,7 @@ pub struct BaselineEntry {
     pub stats: RunStats,
 }
 
-/// The baseline matrix: the four DAG systems over the paper's small and
+/// The baseline matrix: the six DAG systems over the paper's small and
 /// medium committees. `quick` shrinks it to one committee size for smoke
 /// runs.
 pub fn baseline_matrix(quick: bool) -> Vec<(System, usize)> {
@@ -31,6 +31,8 @@ pub fn baseline_matrix(quick: bool) -> Vec<(System, usize)> {
         System::DagRider,
         System::Bullshark,
         System::BullsharkRep,
+        System::BullsharkPipelined,
+        System::FinWhale,
     ];
     let sizes: &[usize] = if quick { &[4] } else { &[4, 10, 20] };
     let mut matrix = Vec::new();
@@ -157,7 +159,7 @@ mod tests {
     #[test]
     fn matrix_covers_systems_and_sizes() {
         let full = baseline_matrix(false);
-        assert_eq!(full.len(), 12, "4 systems x 3 committee sizes");
-        assert!(baseline_matrix(true).len() == 4);
+        assert_eq!(full.len(), 18, "6 systems x 3 committee sizes");
+        assert!(baseline_matrix(true).len() == 6);
     }
 }

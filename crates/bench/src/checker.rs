@@ -58,12 +58,21 @@ use nt_types::{CommitEvent, Committee, Round, ValidatorId};
 use std::collections::BTreeMap;
 
 /// Rounds an eligible honest author may trail an honest validator's
-/// committed tip before [`Checker::Fairness`] fires. Under synchrony every
+/// committed tip before [`Checker::Fairness`] fires, *at the two-round
+/// anchor cadence the constant was tuned for*. Under synchrony every
 /// honest author appears in essentially every committed round, and commit
 /// latency is a handful of rounds even for Tusk's indirect path — 16
 /// rounds is several times that margin, while fuzz runs (~2-4 rounds/s
 /// over 20 s) still build the 2× tip history the checker requires before
 /// it convicts anyone.
+///
+/// The window's real unit is *anchor opportunities*, not rounds: 16 rounds
+/// under Bullshark's every-other-round anchors is 8 chances to pull the
+/// victim's blocks into the order. A system anchoring every round
+/// (pipelined Bullshark) packs those 8 chances into 8 rounds, so judging
+/// it by the raw constant would let a coalition censor a victim almost
+/// twice as long. [`check_fairness`] therefore re-derives the effective
+/// window per witness from the cadence its commit stream actually shows.
 pub const FAIRNESS_WINDOW: Round = 16;
 
 /// Which invariant a violation broke.
@@ -433,15 +442,35 @@ fn check_fairness(
             _ => {} // latency-only faults never stop dissemination
         }
     }
+    // Anchor rounds each witness committed under, for the cadence
+    // derivation below (dedup'd: restarts replay events, and one anchor
+    // flushes many blocks).
+    let mut anchor_rounds: Vec<std::collections::BTreeSet<Round>> =
+        vec![std::collections::BTreeSet::new(); input.nodes];
+    for (_, node, ev) in input.commits {
+        if *node < input.nodes {
+            anchor_rounds[*node].insert(ev.anchor_round);
+        }
+    }
     for (w, seq) in canonical.iter().enumerate() {
         if is_byz(w as u32) {
             continue;
         }
+        // The fairness window is denominated in anchor *opportunities*
+        // ([`FAIRNESS_WINDOW`] rounds at the classic two-round cadence), so
+        // derive this witness's effective round window from the anchor
+        // cadence its own stream shows: an every-round anchor stream
+        // (pipelined Bullshark) is judged over 8 rounds, the two-round
+        // systems keep the full 16. The clamp keeps sparse cadences
+        // (Tusk's three-round waves, faulty stretches) at the tuned
+        // constant instead of loosening past it.
+        let cadence = observed_anchor_cadence(&anchor_rounds[w]);
+        let window = (FAIRNESS_WINDOW * cadence / 2).clamp(FAIRNESS_WINDOW / 2, FAIRNESS_WINDOW);
         let tip = seq.iter().map(|(_, b)| b.0).max().unwrap_or(0);
         // Require enough committed history that "absent from the window"
         // means starved, not "the run barely got going". A wholesale stall
         // is tail-liveness's finding, not a fairness one.
-        if tip < 2 * FAIRNESS_WINDOW {
+        if tip < 2 * window {
             continue;
         }
         // And require the witness's stream to actually *cover* the window:
@@ -451,9 +480,9 @@ fn check_fairness(
         let rounds_in_window: std::collections::BTreeSet<Round> = seq
             .iter()
             .map(|(_, b)| b.0)
-            .filter(|r| r + FAIRNESS_WINDOW >= tip)
+            .filter(|r| r + window >= tip)
             .collect();
-        if (rounds_in_window.len() as u64) < FAIRNESS_WINDOW / 2 {
+        if (rounds_in_window.len() as u64) < window / 2 {
             continue;
         }
         for author in &eligible {
@@ -462,7 +491,7 @@ fn check_fairness(
                 .filter(|(_, b)| b.1 == ValidatorId(*author))
                 .map(|(_, b)| b.0)
                 .max();
-            if !matches!(last, Some(r) if r + FAIRNESS_WINDOW >= tip) {
+            if !matches!(last, Some(r) if r + window >= tip) {
                 let seen = match last {
                     Some(r) => format!("last committed block at r{r}"),
                     None => "no block ever committed".into(),
@@ -472,12 +501,31 @@ fn check_fairness(
                     validator: Some(w),
                     detail: format!(
                         "honest author {author} starved out of the total order: {seen} \
-                         while the committed tip is r{tip} (window {FAIRNESS_WINDOW})",
+                         while the committed tip is r{tip} (window {window}, \
+                         anchor cadence {cadence})",
                     ),
                 });
             }
         }
     }
+}
+
+/// The anchor cadence a commit stream actually ran at: the median gap
+/// between successive distinct anchor rounds. Robust to the occasional
+/// skipped wave or snapshot-install jump (outlier gaps land in the tail of
+/// the sorted gap list, not at its middle). Streams too short to measure
+/// default to the classic two-round cadence.
+fn observed_anchor_cadence(anchors: &std::collections::BTreeSet<Round>) -> Round {
+    let mut gaps: Vec<Round> = anchors
+        .iter()
+        .zip(anchors.iter().skip(1))
+        .map(|(a, b)| b - a)
+        .collect();
+    if gaps.is_empty() {
+        return 2;
+    }
+    gaps.sort_unstable();
+    gaps[gaps.len() / 2].max(1)
 }
 
 fn check_catch_up(input: &CheckInput<'_>, violations: &mut Vec<Violation>) {
@@ -875,6 +923,42 @@ mod tests {
         assert!(
             !violations.iter().any(|v| v.checker == Checker::Fairness),
             "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn pipelined_cadence_tightens_the_fairness_window() {
+        // Author 1 last appears at r90 against a tip of r100 — inside the
+        // raw 16-round window, outside the 8-round window an every-round
+        // anchor cadence earns. The same stream stamped with two-round
+        // anchors keeps the full window and passes.
+        let stream = |anchor_gap: Round| -> Vec<(Time, NodeId, CommitEvent)> {
+            (1..=100)
+                .map(|s| {
+                    let mut e = ev(s, s, 0);
+                    if s == 90 {
+                        e.author = ValidatorId(1);
+                    }
+                    e.anchor_round = s.div_ceil(anchor_gap) * anchor_gap;
+                    (s * 80_000_000, 0usize, e)
+                })
+                .collect()
+        };
+        let schedule = Schedule::default();
+        let (stores, committee) = (mem_stores(), committee());
+        let commits = stream(1);
+        let violations = check_all(&input_over(&commits, &schedule, &stores, &committee));
+        assert!(
+            violations.iter().any(|v| v.checker == Checker::Fairness
+                && v.detail.contains("author 1")
+                && v.detail.contains("window 8")),
+            "every-round anchors must halve the window: {violations:?}"
+        );
+        let commits = stream(2);
+        let violations = check_all(&input_over(&commits, &schedule, &stores, &committee));
+        assert!(
+            !violations.iter().any(|v| v.checker == Checker::Fairness),
+            "two-round anchors keep the tuned window: {violations:?}"
         );
     }
 

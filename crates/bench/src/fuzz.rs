@@ -33,12 +33,14 @@ use nt_types::{Committee, ValidatorId};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// The four DAG systems every schedule is checked against.
-pub const SYSTEMS: [System; 4] = [
+/// The six DAG systems every schedule is checked against.
+pub const SYSTEMS: [System; 6] = [
     System::Tusk,
     System::DagRider,
     System::Bullshark,
     System::BullsharkRep,
+    System::BullsharkPipelined,
+    System::FinWhale,
 ];
 
 /// Quiet tail the plan guarantees and the liveness checker asserts.
@@ -550,6 +552,17 @@ pub fn self_test() -> Vec<SelfTestArm> {
             "censor_pair",
             SelfTestBugs::default(),
             System::Bullshark,
+            vec![(11, Schedule::default())],
+            true,
+            censor_pair.clone(),
+        ),
+        // The same censoring coalition under pipelined anchors: the
+        // fairness window tightens with the every-round cadence, and the
+        // checker must still convict a starved victim there.
+        (
+            "censor_pair_pipelined",
+            SelfTestBugs::default(),
+            System::BullsharkPipelined,
             vec![(11, Schedule::default())],
             true,
             censor_pair,

@@ -24,6 +24,12 @@ pub enum System {
     Bullshark,
     /// Bullshark with the Shoal-style leader-reputation schedule.
     BullsharkRep,
+    /// Shoal-style pipelined Bullshark: an anchor candidate every round,
+    /// reputation re-anchoring past dead candidates.
+    BullsharkPipelined,
+    /// FinWhale: two-round terminating commit (vote-counted verdicts,
+    /// round-robin leaders).
+    FinWhale,
     /// Narwhal mempool + HotStuff ordering certificates (§3.2).
     NarwhalHs,
     /// Prism-style batched mempool + HotStuff (§6 "Batched-HS").
@@ -40,6 +46,8 @@ impl System {
             System::DagRider => "DAG-Rider",
             System::Bullshark => "Bullshark",
             System::BullsharkRep => "Bullshark-Rep",
+            System::BullsharkPipelined => "Bullshark-Pipelined",
+            System::FinWhale => "FinWhale",
             System::NarwhalHs => "Narwhal-HS",
             System::BatchedHs => "Batched-HS",
             System::BaselineHs => "Baseline-HS",
@@ -110,9 +118,12 @@ pub fn split_partition(nodes: usize, workers: u32, from: Time, until: Time) -> P
 /// `partitions` optionally scripts periods of asynchrony (Table 1).
 pub fn run_system(system: System, params: &BenchParams, partitions: Vec<Partition>) -> RunStats {
     match system {
-        System::Tusk | System::DagRider | System::Bullshark | System::BullsharkRep => {
-            run_dag_system(system, params, partitions)
-        }
+        System::Tusk
+        | System::DagRider
+        | System::Bullshark
+        | System::BullsharkRep
+        | System::BullsharkPipelined
+        | System::FinWhale => run_dag_system(system, params, partitions),
         // The HotStuff arms are wired in `runner_hs` (see below).
         System::NarwhalHs => crate::runner_hs::run_narwhal_hs(params, partitions),
         System::BatchedHs => crate::runner_hs::run_batched_hs(params, partitions),
@@ -140,6 +151,12 @@ pub fn build_dag_actors(
         }
         System::BullsharkRep => {
             bullshark::build_bullshark_rep_actors(&committee, &kps, &config, params.workers)
+        }
+        System::BullsharkPipelined => {
+            bullshark::build_pipelined_rep_actors(&committee, &kps, &config, params.workers)
+        }
+        System::FinWhale => {
+            bullshark::build_finwhale_rr_actors(&committee, &kps, &config, params.workers)
         }
         _ => panic!("{} is not a DAG-over-Narwhal system", system.name()),
     }
@@ -272,6 +289,16 @@ pub fn build_dag_actor_factories_with_app(
                 System::BullsharkRep => Box::new(builder.build_primary(bullshark::Bullshark::new(
                     committee.clone(),
                     bullshark::Reputation::new(&committee),
+                ))),
+                System::BullsharkPipelined => {
+                    Box::new(builder.build_primary(bullshark::PipelinedBullshark::new(
+                        committee.clone(),
+                        bullshark::Reputation::new(&committee),
+                    )))
+                }
+                System::FinWhale => Box::new(builder.build_primary(bullshark::FinWhale::new(
+                    committee.clone(),
+                    bullshark::RoundRobin::new(&committee),
                 ))),
                 _ => panic!("{} is not a DAG-over-Narwhal system", system.name()),
             }

@@ -26,12 +26,14 @@ fn run_once(system: System, seed: u64) -> SimResult {
 }
 
 #[test]
-fn same_seed_same_run_for_all_four_systems() {
+fn same_seed_same_run_for_all_dag_systems() {
     for system in [
         System::Tusk,
         System::DagRider,
         System::Bullshark,
         System::BullsharkRep,
+        System::BullsharkPipelined,
+        System::FinWhale,
     ] {
         let a = run_once(system, 42);
         let b = run_once(system, 42);

@@ -99,3 +99,13 @@ fn bullshark_ten_node_tail_stays_bounded() {
 fn bullshark_rep_ten_node_tail_stays_bounded() {
     check_no_cliff(System::BullsharkRep);
 }
+
+#[test]
+fn bullshark_pipelined_ten_node_tail_stays_bounded() {
+    check_no_cliff(System::BullsharkPipelined);
+}
+
+#[test]
+fn finwhale_ten_node_tail_stays_bounded() {
+    check_no_cliff(System::FinWhale);
+}

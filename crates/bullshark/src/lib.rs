@@ -19,12 +19,24 @@
 //! DAG, and the `ablation_bullshark` bench compares the two protocols on
 //! identical deployments.
 
+//! Two latency-frontier variants ship alongside plain Bullshark:
+//! [`PipelinedBullshark`] (Shoal-style anchor pipelining — an anchor
+//! candidate every round, reputation re-anchoring past dead candidates)
+//! and [`FinWhale`] (an optimally-resilient two-round terminating commit
+//! whose skips settle at the wave's own voting round).
+
 pub mod bullshark;
+pub mod finwhale;
+pub mod pipelined;
 pub mod schedule;
 pub mod system;
 
 pub use bullshark::Bullshark;
+pub use finwhale::FinWhale;
+pub use pipelined::PipelinedBullshark;
 pub use schedule::{LeaderSchedule, Reputation, RoundRobin};
 pub use system::{
-    build_bullshark_actors, build_bullshark_rep_actors, build_bullshark_rr_actors, BullsharkMsg,
+    build_bullshark_actors, build_bullshark_rep_actors, build_bullshark_rr_actors,
+    build_finwhale_actors, build_finwhale_rr_actors, build_pipelined_actors,
+    build_pipelined_rep_actors, BullsharkMsg,
 };

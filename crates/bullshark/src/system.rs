@@ -6,6 +6,8 @@ use nt_network::Actor;
 use nt_types::{Committee, WorkerId};
 
 use crate::bullshark::Bullshark;
+use crate::finwhale::FinWhale;
+use crate::pipelined::PipelinedBullshark;
 use crate::schedule::{LeaderSchedule, Reputation, RoundRobin};
 
 /// The wire message type of a Bullshark deployment: like Tusk, Bullshark
@@ -83,6 +85,111 @@ pub fn build_bullshark_rep_actors(
     )
 }
 
+/// Builds the actors of a Narwhal + pipelined-Bullshark deployment (an
+/// anchor candidate every round), same layout as
+/// [`build_bullshark_actors`].
+pub fn build_pipelined_actors<S>(
+    committee: &Committee,
+    keypairs: &[KeyPair],
+    config: &NarwhalConfig,
+    workers: u32,
+    schedule: S,
+) -> Vec<Box<dyn Actor<Message = BullsharkMsg>>>
+where
+    S: LeaderSchedule + Clone + 'static,
+{
+    let n = committee.size();
+    let mut actors: Vec<Box<dyn Actor<Message = BullsharkMsg>>> = Vec::new();
+    for v in 0..n as u32 {
+        let pipelined = PipelinedBullshark::new(committee.clone(), schedule.clone());
+        let primary = NodeBuilder::new(committee.clone(), v)
+            .config(config.clone())
+            .workers_per_validator(workers)
+            .keypair(keypairs[v as usize].clone())
+            .build_primary(pipelined);
+        actors.push(Box::new(primary));
+    }
+    for v in 0..n as u32 {
+        for w in 0..workers {
+            let worker = NodeBuilder::new(committee.clone(), v)
+                .config(config.clone())
+                .workers_per_validator(workers)
+                .build_worker::<NoExt>(WorkerId(w));
+            actors.push(Box::new(worker));
+        }
+    }
+    actors
+}
+
+/// [`build_pipelined_actors`] with the Shoal-style reputation schedule —
+/// the canonical pairing: skipped candidates demote their leader, so the
+/// per-round anchor stream re-anchors onto live validators.
+pub fn build_pipelined_rep_actors(
+    committee: &Committee,
+    keypairs: &[KeyPair],
+    config: &NarwhalConfig,
+    workers: u32,
+) -> Vec<Box<dyn Actor<Message = BullsharkMsg>>> {
+    build_pipelined_actors(
+        committee,
+        keypairs,
+        config,
+        workers,
+        Reputation::new(committee),
+    )
+}
+
+/// Builds the actors of a Narwhal + FinWhale deployment (two-round
+/// terminating commit), same layout as [`build_bullshark_actors`].
+pub fn build_finwhale_actors<S>(
+    committee: &Committee,
+    keypairs: &[KeyPair],
+    config: &NarwhalConfig,
+    workers: u32,
+    schedule: S,
+) -> Vec<Box<dyn Actor<Message = BullsharkMsg>>>
+where
+    S: LeaderSchedule + Clone + 'static,
+{
+    let n = committee.size();
+    let mut actors: Vec<Box<dyn Actor<Message = BullsharkMsg>>> = Vec::new();
+    for v in 0..n as u32 {
+        let finwhale = FinWhale::new(committee.clone(), schedule.clone());
+        let primary = NodeBuilder::new(committee.clone(), v)
+            .config(config.clone())
+            .workers_per_validator(workers)
+            .keypair(keypairs[v as usize].clone())
+            .build_primary(finwhale);
+        actors.push(Box::new(primary));
+    }
+    for v in 0..n as u32 {
+        for w in 0..workers {
+            let worker = NodeBuilder::new(committee.clone(), v)
+                .config(config.clone())
+                .workers_per_validator(workers)
+                .build_worker::<NoExt>(WorkerId(w));
+            actors.push(Box::new(worker));
+        }
+    }
+    actors
+}
+
+/// [`build_finwhale_actors`] with the paper-baseline round-robin schedule.
+pub fn build_finwhale_rr_actors(
+    committee: &Committee,
+    keypairs: &[KeyPair],
+    config: &NarwhalConfig,
+    workers: u32,
+) -> Vec<Box<dyn Actor<Message = BullsharkMsg>>> {
+    build_finwhale_actors(
+        committee,
+        keypairs,
+        config,
+        workers,
+        RoundRobin::new(committee),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +203,10 @@ mod tests {
         let actors = build_bullshark_rr_actors(&committee, &kps, &config, 2);
         assert_eq!(actors.len(), AddressBook::new(4, 2).total_hosts());
         let actors = build_bullshark_rep_actors(&committee, &kps, &config, 1);
+        assert_eq!(actors.len(), AddressBook::new(4, 1).total_hosts());
+        let actors = build_pipelined_rep_actors(&committee, &kps, &config, 1);
+        assert_eq!(actors.len(), AddressBook::new(4, 1).total_hosts());
+        let actors = build_finwhale_rr_actors(&committee, &kps, &config, 1);
         assert_eq!(actors.len(), AddressBook::new(4, 1).total_hosts());
     }
 }

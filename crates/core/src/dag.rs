@@ -652,6 +652,13 @@ impl<'a> DagView<'a> {
         self.dag.highest_round()
     }
 
+    /// The resolved parent ids of `id`'s certificate. Edges whose parent
+    /// certificate is absent (never arrived, or compacted away by GC) are
+    /// omitted; the order follows the header's parent list.
+    pub fn parents(&self, id: CertId) -> impl Iterator<Item = CertId> + 'a {
+        self.dag.slot(id).parents.iter().flatten().copied()
+    }
+
     /// Number of next-round blocks whose parents include `id` (the votes
     /// of the commit rules).
     pub fn support(&self, id: CertId) -> usize {

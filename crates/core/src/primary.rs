@@ -1984,6 +1984,12 @@ impl<C: DagConsensus> Actor for Primary<C> {
                 }
             }
             NarwhalMsg::CertRangeRequest { from: lo, to: hi } => {
+                // Malformed ranges are rejected at ingress: no honest
+                // requester sends an inverted or zero-round range, and the
+                // clamping below must never turn one into real work.
+                if lo > hi || hi == 0 {
+                    return;
+                }
                 // Serve ascending rounds so the requester's insertions
                 // cascade without re-suspending; the cap bounds our work no
                 // matter what range was asked for.
@@ -2443,6 +2449,54 @@ mod tests {
         durable.on_start(&mut ctx_d);
         assert_eq!(durable.round(), volatile[0].round());
         assert_eq!(durable.dag().len(), volatile[0].dag().len());
+    }
+
+    /// The TAG 16 (`CertRangeRequest`) ingress path: inverted and
+    /// zero-length ranges are dropped without a response, and an
+    /// arbitrarily wide range is clamped to `RANGE_PULL_MAX_ROUNDS` of
+    /// locally retained history instead of trusting the requester.
+    #[test]
+    fn malformed_cert_range_requests_are_rejected_or_clamped() {
+        let (_, _, addr, mut primaries) = setup(4);
+        let mut queues: VecDeque<(NodeId, NodeId, Msg)> = VecDeque::new();
+        for (v, primary) in primaries.iter_mut().enumerate() {
+            let mut ctx = Context::new(0, v);
+            primary.on_start(&mut ctx);
+            for (to, msg) in sends(ctx.drain()) {
+                queues.push_back((v, to, msg));
+            }
+        }
+        for v in 0..4u32 {
+            for (p, primary) in primaries.iter_mut().enumerate() {
+                for (to, msg) in report_from(primary, ValidatorId(v), v as u64, MS) {
+                    queues.push_back((p, to, msg));
+                }
+            }
+        }
+        route_to_fixpoint(&mut primaries, &addr, queues, 2 * MS);
+        assert_eq!(primaries[0].dag().round_size(1), 4, "round 1 certified");
+        let mut range = |from: Round, to: Round| -> Vec<Certificate> {
+            let mut ctx = Context::new(3 * MS, 0);
+            primaries[0].on_message(1, NarwhalMsg::CertRangeRequest { from, to }, &mut ctx);
+            sends(ctx.drain())
+                .into_iter()
+                .find_map(|(_, m)| match m {
+                    NarwhalMsg::CertResponse { certs } => Some(certs),
+                    _ => None,
+                })
+                .unwrap_or_default()
+        };
+        // Inverted and zero-length ranges answer nothing at all.
+        assert!(range(2, 1).is_empty(), "inverted range");
+        assert!(range(u64::MAX, 0).is_empty(), "extreme inverted range");
+        assert!(range(0, 0).is_empty(), "zero-length range");
+        // A well-formed request is served...
+        assert_eq!(range(1, 1).len(), 4, "round 1 has four certificates");
+        // ...and an absurdly wide one is clamped to what the cap and the
+        // local DAG actually hold, not the requested size.
+        let clamped = range(1, u64::MAX);
+        assert_eq!(clamped.len(), 4, "only retained rounds are served");
+        assert!(clamped.iter().all(|c| c.round() == 1));
     }
 
     #[test]

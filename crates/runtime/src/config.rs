@@ -40,6 +40,11 @@ pub enum SystemKind {
     Bullshark,
     /// Bullshark with the Shoal-style reputation schedule.
     BullsharkRep,
+    /// Pipelined Bullshark (anchor candidate every round, reputation
+    /// re-anchoring).
+    BullsharkPipelined,
+    /// FinWhale: two-round terminating commit, round-robin leaders.
+    FinWhale,
 }
 
 impl SystemKind {
@@ -48,6 +53,8 @@ impl SystemKind {
             SystemKind::Tusk => "tusk",
             SystemKind::Bullshark => "bullshark",
             SystemKind::BullsharkRep => "bullshark-rep",
+            SystemKind::BullsharkPipelined => "bullshark-pipelined",
+            SystemKind::FinWhale => "finwhale",
         }
     }
 }
@@ -60,6 +67,8 @@ impl std::str::FromStr for SystemKind {
             "tusk" => Ok(SystemKind::Tusk),
             "bullshark" => Ok(SystemKind::Bullshark),
             "bullshark-rep" => Ok(SystemKind::BullsharkRep),
+            "bullshark-pipelined" => Ok(SystemKind::BullsharkPipelined),
+            "finwhale" => Ok(SystemKind::FinWhale),
             other => Err(ConfigError::new(format!("unknown system '{other}'"))),
         }
     }

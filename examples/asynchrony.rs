@@ -43,7 +43,9 @@ fn run(system: System, duration: u64) -> Vec<u64> {
         | System::NarwhalHs
         | System::DagRider
         | System::Bullshark
-        | System::BullsharkRep => 1,
+        | System::BullsharkRep
+        | System::BullsharkPipelined
+        | System::FinWhale => 1,
         _ => 0,
     };
     let actors_params = BenchParams {

@@ -8,7 +8,7 @@
 //! identical committed-certificate prefixes, and every linearization must
 //! respect the DAG's causal (parent) order.
 
-use narwhal_tusk::bullshark::{Bullshark, Reputation, RoundRobin};
+use narwhal_tusk::bullshark::{Bullshark, FinWhale, PipelinedBullshark, Reputation, RoundRobin};
 use narwhal_tusk::crypto::{CoinShare, Digest, Hashable, Scheme};
 use narwhal_tusk::narwhal::{ConsensusOut, Dag, DagConsensus};
 use narwhal_tusk::tusk::{DagRider, Tusk};
@@ -147,6 +147,12 @@ fn every_protocol_linearizes_consistent_prefixes_from_one_recorded_dag() {
         ("Bullshark-Rep", |c| {
             Box::new(Bullshark::new(c.clone(), Reputation::new(c)))
         }),
+        ("Bullshark-Pipelined", |c| {
+            Box::new(PipelinedBullshark::new(c.clone(), Reputation::new(c)))
+        }),
+        ("FinWhale", |c| {
+            Box::new(FinWhale::new(c.clone(), RoundRobin::new(c)))
+        }),
     ];
 
     for (name, make) in &protocols {
@@ -176,6 +182,8 @@ fn bullshark_commits_more_anchors_than_dag_rider_on_the_same_dag() {
     // connected rounds, 2-round Bullshark waves settle 6 anchors (voting
     // rounds 2..12), Tusk's piggybacked 3-round waves 5 (coin rounds
     // 3..11), DAG-Rider's 4-round waves 3 (reveal rounds 4, 8, 12).
+    // Pipelined Bullshark re-bases after every commit, so every round
+    // 1..=11 yields an anchor; FinWhale keeps Bullshark's two-round waves.
     let (committee, certs) = record_dag(4, 12, 0xB5, true);
     let in_order: Vec<usize> = (0..certs.len()).collect();
     let count = |consensus: &mut dyn DagConsensus<Ext = narwhal_tusk::narwhal::NoExt>| {
@@ -193,8 +201,13 @@ fn bullshark_commits_more_anchors_than_dag_rider_on_the_same_dag() {
     let mut bull = Bullshark::new(committee.clone(), RoundRobin::new(&committee));
     let mut tusk = Tusk::new(committee.clone(), 7);
     let mut rider = DagRider::new(committee.clone(), 7);
+    let mut pipelined = PipelinedBullshark::new(committee.clone(), RoundRobin::new(&committee));
+    let mut finwhale = FinWhale::new(committee.clone(), RoundRobin::new(&committee));
     let b = count(&mut bull);
     let t = count(&mut tusk);
     let r = count(&mut rider);
+    let p = count(&mut pipelined);
+    let f = count(&mut finwhale);
     assert_eq!((b, t, r), (6, 5, 3), "anchor cadence per wave size");
+    assert_eq!((p, f), (11, 6), "pipelined anchors every round");
 }
